@@ -1,0 +1,85 @@
+"""Shared benchmark fixtures.
+
+Every table/figure bench draws from one set of protected named apps,
+built once per session.  Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``     multiplies simulated durations and run counts
+                          (default 1.0 -- the reduced-but-representative
+                          defaults documented in EXPERIMENTS.md)
+``REPRO_BENCH_APPS``      how many of the eight named apps to use
+                          (default 8)
+
+The paper's full protocol (1-hour fuzzing sessions, 50 user runs per
+app, 963 corpus apps) is reproduced at reduced scale; EXPERIMENTS.md
+records the exact parameters next to each result.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import BombDroid, BombDroidConfig, build_named_app, repackage
+from repro.corpus import NAMED_APPS
+from repro.crypto import RSAKeyPair
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+APP_COUNT = int(os.environ.get("REPRO_BENCH_APPS", "8"))
+
+#: Simulated seconds standing in for the paper's "one hour" of fuzzing.
+FUZZ_HOUR = 600.0 * SCALE
+
+#: Profiling events for the protection pipeline (paper: 10,000).
+PROFILING_EVENTS = int(1500 * SCALE)
+
+
+def scaled(value: float) -> float:
+    return value * SCALE
+
+
+@pytest.fixture(scope="session")
+def named_app_names():
+    return [spec.name for spec in NAMED_APPS[:APP_COUNT]]
+
+
+@pytest.fixture(scope="session")
+def bundles(named_app_names):
+    """name -> AppBundle for the selected named apps."""
+    return {name: build_named_app(name) for name in named_app_names}
+
+
+@pytest.fixture(scope="session")
+def protections(bundles):
+    """name -> (protected_apk, report)."""
+    out = {}
+    for name, bundle in bundles.items():
+        config = BombDroidConfig(seed=17, profiling_events=PROFILING_EVENTS)
+        out[name] = BombDroid(config).protect(bundle.apk, bundle.developer_key)
+    return out
+
+
+@pytest.fixture(scope="session")
+def attacker_key():
+    return RSAKeyPair.generate(seed=4040)
+
+
+@pytest.fixture(scope="session")
+def pirated(protections, attacker_key):
+    """name -> repackaged (pirated) APK."""
+    return {
+        name: repackage(protected, attacker_key)
+        for name, (protected, _) in protections.items()
+    }
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Uniform table printer for every bench's output."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

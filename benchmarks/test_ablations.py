@@ -1,0 +1,110 @@
+"""Design-choice ablations from DESIGN.md.
+
+* α sweep -- more artificial QCs means more (medium/strong) bombs at
+  the cost of code size;
+* salted vs unsalted hashing -- rainbow tables crack unsalted digests
+  and nothing else;
+* weaving vs not -- deletion corrupts woven apps.
+  (covered per-attack in the test suite; here the corruption-rate
+  comparison is benchmarked end to end.)
+"""
+
+from conftest import PROFILING_EVENTS, print_table
+
+from repro import BombDroid, BombDroidConfig
+from repro.attacks import DeletionAttack
+from repro.attacks.brute_force import rainbow_attack
+from repro.core.stats import BombOrigin
+from repro.corpus import build_named_app
+from repro.crypto import Salt, encode_value, sha1
+from repro.crypto.kdf import hash_constant
+from repro.crypto import RSAKeyPair
+
+
+def test_alpha_sweep(benchmark):
+    bundle = build_named_app("Binaural Beat", scale=0.6)
+    rows = []
+
+    def run():
+        for alpha in (0.0, 0.25, 0.5, 1.0):
+            config = BombDroidConfig(
+                seed=21, profiling_events=PROFILING_EVENTS, alpha=alpha
+            )
+            protected, report = BombDroid(config).protect(
+                bundle.apk, bundle.developer_key
+            )
+            rows.append(
+                (
+                    f"{alpha:.2f}",
+                    report.total_injected,
+                    report.count_by_origin(BombOrigin.ARTIFICIAL),
+                    f"{report.size_increase:+.1%}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: artificial-QC ratio alpha",
+        ["alpha", "total bombs", "artificial", "size increase"],
+        rows,
+    )
+    artificial_counts = [row[2] for row in rows]
+    assert artificial_counts == sorted(artificial_counts)
+    assert artificial_counts[-1] > artificial_counts[0]
+
+
+def test_salting_defeats_rainbow_tables(benchmark, protections, named_app_names):
+    name = named_app_names[0]
+    _, report = protections[name]
+    bombs = report.real_bombs()
+
+    def run():
+        # The attacker's table is perfect: it contains every actual
+        # trigger constant (plus filler) -- hashed WITHOUT the salt.
+        table = [bomb.const_value for bomb in bombs] + list(range(512))
+        salted = rainbow_attack(bombs, table)
+        # Control: the same table against unsalted digests cracks every
+        # bomb whose constant it contains.
+        unsalted_digests = {sha1(encode_value(v)).hex(): v for v in table}
+        unsalted_hits = sum(
+            1 for bomb in bombs
+            if sha1(encode_value(bomb.const_value)).hex() in unsalted_digests
+        )
+        return salted, unsalted_hits
+
+    salted, unsalted_hits = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n=== Ablation: salting ({name}) === salted cracks: "
+        f"{sum(salted.values())}/{len(salted)}; unsalted would crack: "
+        f"{unsalted_hits}/{len(salted)}"
+    )
+    assert sum(salted.values()) == 0
+    assert unsalted_hits == len(salted)
+
+
+def test_weaving_deletion_corruption(benchmark, attacker_key):
+    bundle = build_named_app("CatLog", scale=0.5)
+    results = {}
+
+    def run():
+        for label, kwargs in (
+            ("woven", {"weave": True, "bogus_ratio": 0.2}),
+            ("artificial-only", {"alpha": 1.0, "max_bombs_per_method": 0,
+                                 "bogus_ratio": 0.0}),
+        ):
+            config = BombDroidConfig(seed=22, profiling_events=PROFILING_EVENTS, **kwargs)
+            protected, _ = BombDroid(config).protect(bundle.apk, bundle.developer_key)
+            attack = DeletionAttack(differential_events=400, seed=23)
+            outcome = attack.run(protected, attacker_key, original=bundle.apk)
+            results[label] = (
+                outcome.app_corrupted,
+                outcome.details["state_divergences"],
+                outcome.details["new_crashes"],
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Ablation: weaving vs deletion === {results}")
+    assert results["woven"][0] is True
+    assert results["artificial-only"][0] is False

@@ -1,0 +1,108 @@
+"""Figure 4: brute-force strength of outer trigger conditions.
+
+Paper: obfuscation strength is classed by the trigger constant's type
+-- string (strong), int (medium), boolean (weak).  Figure 4a shows a
+high percentage of *existing* QCs are weak; Figure 4b shows *artificial*
+QCs are all medium-to-strong (they are constructed from high-entropy
+int/string fields).
+
+The bench reports the histograms and validates them against a live
+brute-force attack: weak always cracks, strong never cracks without a
+dictionary.
+"""
+
+from conftest import print_table
+
+from repro.analysis.qualified_conditions import Strength
+from repro.attacks import BruteForceAttack, CrackOutcome
+from repro.core.stats import BombOrigin
+
+
+def test_figure4(benchmark, protections, named_app_names):
+    rows = []
+    totals = {
+        BombOrigin.EXISTING: {s: 0 for s in Strength},
+        BombOrigin.ARTIFICIAL: {s: 0 for s in Strength},
+    }
+
+    def run():
+        for name in named_app_names:
+            _, report = protections[name]
+            existing = report.strength_histogram(BombOrigin.EXISTING)
+            artificial = report.strength_histogram(BombOrigin.ARTIFICIAL)
+            for strength in Strength:
+                totals[BombOrigin.EXISTING][strength] += existing[strength]
+                totals[BombOrigin.ARTIFICIAL][strength] += artificial[strength]
+            rows.append(
+                (
+                    name,
+                    existing[Strength.WEAK],
+                    existing[Strength.MEDIUM],
+                    existing[Strength.STRONG],
+                    artificial[Strength.WEAK],
+                    artificial[Strength.MEDIUM],
+                    artificial[Strength.STRONG],
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 4 (outer-trigger strength; existing vs artificial QCs)",
+        ["app", "ex.weak", "ex.med", "ex.strong", "ar.weak", "ar.med", "ar.strong"],
+        rows,
+    )
+
+    existing_totals = totals[BombOrigin.EXISTING]
+    artificial_totals = totals[BombOrigin.ARTIFICIAL]
+    print("existing:", {s.value: n for s, n in existing_totals.items()})
+    print("artificial:", {s.value: n for s, n in artificial_totals.items()})
+
+    # Figure 4a: a high share of existing QCs is weak.
+    existing_count = sum(existing_totals.values())
+    assert existing_totals[Strength.WEAK] / existing_count >= 0.2
+    # Figure 4b: artificial QCs are never weak.
+    assert artificial_totals[Strength.WEAK] == 0
+    assert artificial_totals[Strength.MEDIUM] + artificial_totals[Strength.STRONG] > 0
+
+
+def test_figure4_brute_force_validation(benchmark, protections, named_app_names):
+    """Strength classes predict real cracking outcomes."""
+    name = named_app_names[0]
+    _, report = protections[name]
+    attack = BruteForceAttack(int_budget=30_000, dictionary=["hello", "test"])
+
+    def run():
+        return [attack.crack_bomb(bomb) for bomb in report.real_bombs()]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_strength = {}
+    for crack in reports:
+        by_strength.setdefault(crack.strength, []).append(crack)
+
+    rows = [
+        (
+            strength.value,
+            len(group),
+            sum(1 for c in group if c.outcome is CrackOutcome.CRACKED),
+            f"{sum(c.tries for c in group) / len(group):.0f}",
+        )
+        for strength, group in sorted(by_strength.items(), key=lambda kv: kv[0].value)
+    ]
+    print_table(
+        f"Figure 4 validation ({name}: brute force, budget 30k tries)",
+        ["strength", "bombs", "cracked", "avg tries"],
+        rows,
+    )
+
+    if Strength.WEAK in by_strength:
+        assert all(
+            c.outcome is CrackOutcome.CRACKED for c in by_strength[Strength.WEAK]
+        )
+    if Strength.STRONG in by_strength:
+        # Strings outside the tiny dictionary must survive.
+        survivors = [
+            c for c in by_strength[Strength.STRONG]
+            if c.outcome is CrackOutcome.INFEASIBLE
+        ]
+        assert survivors or len(by_strength[Strength.STRONG]) <= 2

@@ -1,0 +1,53 @@
+"""Section 8.3.2: human analysts with environment mutation.
+
+Paper: four skilled analysts, 20 hours per app, full knowledge of the
+implementation, free to mutate environment variables -- at most 9.3% of
+bombs triggered.  "Mutating environment variables values is slightly
+helpful", but the space is too large to search blindly.
+"""
+
+from conftest import SCALE, print_table
+
+from repro.attacks import HumanAnalystAttack
+
+HOURS = 1.0 * SCALE
+SESSION_MINUTES = 10.0 * max(1.0, SCALE)
+
+
+def test_human_analyst(benchmark, protections, named_app_names):
+    rows = []
+    fractions = []
+
+    def run():
+        for index, name in enumerate(named_app_names[:4]):
+            protected, report = protections[name]
+            attack = HumanAnalystAttack(
+                seed=500 + index,
+                total_hours=HOURS,
+                session_minutes=SESSION_MINUTES,
+            )
+            result = attack.run(protected, total_bombs=len(report.real_bombs()))
+            fractions.append(result.details["fraction_triggered"])
+            rows.append(
+                (
+                    name,
+                    len(report.real_bombs()),
+                    result.details["outer_satisfied"],
+                    result.details["fully_triggered"],
+                    f"{result.details['fraction_triggered']:.1%}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Section 8.3.2 (analyst with env mutation, {HOURS:.0f}h/app; paper: <=9.3%)",
+        ["app", "bombs", "outer satisfied", "fully triggered", "fraction"],
+        rows,
+    )
+    mean = sum(fractions) / len(fractions)
+    print(f"mean fraction triggered: {mean:.1%}")
+    # Shape: even a knowledgeable analyst mutating the environment
+    # leaves the large majority of bombs dormant.
+    assert mean <= 0.35
+    assert not any(result == 1.0 for result in fractions)

@@ -1,0 +1,89 @@
+"""Table 1: static characteristics of the app corpus.
+
+Paper: 963 F-Droid apps across eight categories; reports per-category
+averages of LOC, candidate methods, existing QCs, and environment
+variables used.  We generate a sampled corpus per category (the paper's
+full population is encoded in the category profiles) and measure the
+same statistics with our own analyses.
+"""
+
+import os
+
+from conftest import PROFILING_EVENTS, SCALE, print_table
+
+from repro.analysis import find_qualified_conditions, profile_hot_methods
+from repro.corpus import CATEGORY_PROFILES, generate_corpus
+from repro.dex.opcodes import Op
+from repro.fuzzing import DynodroidGenerator
+from repro.vm import Runtime
+
+APPS_PER_CATEGORY = max(1, int(2 * SCALE))
+CORPUS_SCALE = 0.25  # app size relative to the category's Table 1 average
+
+
+def _env_var_count(dex) -> int:
+    names = set()
+    for method in dex.iter_methods():
+        for pc, instr in enumerate(method.instructions):
+            if instr.op is Op.INVOKE and instr.value == "android.env.get":
+                from repro.analysis.defs import constant_in_block
+
+                info = constant_in_block(method, pc, instr.args[0])
+                if info is not None:
+                    names.add(info[1])
+    return len(names)
+
+
+def _measure_category(profile):
+    apps = list(
+        generate_corpus(profile.name, APPS_PER_CATEGORY, scale=CORPUS_SCALE, seed=profile.app_count)
+    )
+    stats = {"instructions": 0, "candidates": 0, "qcs": 0, "env": 0}
+    for bundle in apps:
+        stats["instructions"] += bundle.dex.instruction_count()
+        runtime = Runtime(bundle.dex, package=bundle.apk.install_view(), seed=1)
+        runtime.boot()
+        events = DynodroidGenerator(bundle.dex, seed=1).stream(
+            max(100, PROFILING_EVENTS // 4)
+        )
+        hot = profile_hot_methods(runtime, events)
+        stats["candidates"] += len(hot.candidate_methods)
+        stats["qcs"] += sum(
+            len(find_qualified_conditions(bundle.dex.get_method(name)))
+            for name in hot.candidate_methods
+        )
+        stats["env"] += _env_var_count(bundle.dex)
+    count = len(apps)
+    return {key: value / count for key, value in stats.items()}
+
+
+def test_table1(benchmark):
+    rows = []
+
+    def run():
+        for profile in CATEGORY_PROFILES:
+            measured = _measure_category(profile)
+            rows.append(
+                (
+                    profile.name,
+                    profile.app_count,
+                    f"{measured['instructions']:.0f} (paper LOC/4: {profile.avg_loc * CORPUS_SCALE:.0f})",
+                    f"{measured['candidates']:.0f} ({profile.avg_candidate_methods * CORPUS_SCALE:.0f})",
+                    f"{measured['qcs']:.0f} ({profile.avg_existing_qcs * CORPUS_SCALE:.0f})",
+                    f"{measured['env']:.0f} ({profile.avg_env_vars})",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Table 1 ({APPS_PER_CATEGORY} sampled apps/category at {CORPUS_SCALE}x size; "
+        "measured (paper target, scaled)",
+        ["category", "#apps(paper)", "avg instrs", "avg candidates", "avg QCs", "env vars"],
+        rows,
+    )
+    # Shape assertions: ordering by size matches the paper's table.
+    sizes = [float(row[2].split()[0]) for row in rows]
+    assert sizes[0] < sizes[-1]  # Game apps smallest, Development largest
+    qcs = [float(row[4].split()[0]) for row in rows]
+    assert all(value >= 2 for value in qcs)

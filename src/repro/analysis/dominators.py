@@ -1,0 +1,75 @@
+"""Dominator analysis (iterative dataflow formulation).
+
+Needed by natural-loop detection: an edge ``t -> h`` is a back edge iff
+``h`` dominates ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.analysis.cfg import ControlFlowGraph
+
+
+def dominators(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
+    """Map block index -> set of block indices dominating it.
+
+    Unreachable blocks get ``{themselves}`` (they dominate nothing and
+    participate in no loops we care about).
+    """
+    reachable = cfg.reachable()
+    all_reachable = set(reachable)
+    dom: Dict[int, Set[int]] = {}
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            dom[block.index] = {block.index}
+        elif block.index == 0:
+            dom[block.index] = {0}
+        else:
+            dom[block.index] = set(all_reachable)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            if block.index == 0 or block.index not in reachable:
+                continue
+            predecessor_doms = [
+                dom[p] for p in block.predecessors if p in reachable
+            ]
+            if predecessor_doms:
+                new = set.intersection(*predecessor_doms)
+            else:
+                new = set()
+            new.add(block.index)
+            if new != dom[block.index]:
+                dom[block.index] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> Dict[int, Optional[int]]:
+    """Map block index -> its immediate dominator (None for entry and
+    unreachable blocks)."""
+    dom = dominators(cfg)
+    idom: Dict[int, Optional[int]] = {}
+    for block in cfg.blocks:
+        index = block.index
+        strict = dom[index] - {index}
+        if not strict:
+            idom[index] = None
+            continue
+        # The idom is the strict dominator dominated by all other strict
+        # dominators.
+        candidate = None
+        for d in strict:
+            if all(d in dom_other or d == other for other in strict for dom_other in [dom[other]]):
+                if strict <= dom[d] | {d}:
+                    candidate = d
+                    break
+        if candidate is None:
+            # Fallback: pick the strict dominator with the largest
+            # dominator set (deepest in the tree).
+            candidate = max(strict, key=lambda d: len(dom[d]))
+        idom[index] = candidate
+    return idom

@@ -1,0 +1,92 @@
+"""Field-value entropy profiling for artificial QCs.
+
+Section 7.2: "we collect the possible values that each accessible field
+takes through profiling; fields that have the largest numbers of unique
+values are considered to have higher entropies and are used to
+construct artificial QCs".  Figure 3 visualizes exactly this: six
+AndroFish variables sampled once per minute for an hour.
+
+The profiler snapshots static-field values from a running
+:class:`repro.vm.Runtime`; the caller decides the sampling cadence
+(e.g. once per simulated minute of fuzzing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class FieldHistory:
+    """Sampled values of one static field over the profiling run."""
+
+    name: str
+    samples: List[Tuple[float, object]] = field(default_factory=list)
+
+    @property
+    def values(self) -> List[object]:
+        return [value for _, value in self.samples]
+
+    @property
+    def unique_count(self) -> int:
+        seen = set()
+        for value in self.values:
+            try:
+                seen.add(value)
+            except TypeError:
+                seen.add(repr(value))
+        return len(seen)
+
+    def unique_values(self) -> List[object]:
+        out = []
+        seen = set()
+        for value in self.values:
+            key = value if isinstance(value, (int, str, bool, type(None))) else repr(value)
+            if key not in seen:
+                seen.add(key)
+                out.append(value)
+        return out
+
+
+class FieldValueProfiler:
+    """Collects static-field histories from a runtime under test."""
+
+    def __init__(self) -> None:
+        self._histories: Dict[str, FieldHistory] = {}
+
+    def sample(self, runtime) -> None:
+        """Record the current value of every static field."""
+        clock = runtime.device.clock
+        for name, value in runtime.statics.items():
+            history = self._histories.get(name)
+            if history is None:
+                history = self._histories[name] = FieldHistory(name=name)
+            history.samples.append((clock, value))
+
+    @property
+    def histories(self) -> Dict[str, FieldHistory]:
+        return dict(self._histories)
+
+    def history_of(self, name: str) -> Optional[FieldHistory]:
+        return self._histories.get(name)
+
+    def rank_by_entropy(self, value_types=(int, str)) -> List[FieldHistory]:
+        """Histories sorted by unique-value count, highest first.
+
+        Only fields whose sampled values are all of the given types (and
+        not None-only) qualify -- artificial QCs need hashable operands
+        with usable domains.  Booleans are excluded by default: they
+        yield only weak conditions.
+        """
+        eligible = []
+        for history in self._histories.values():
+            values = [v for v in history.values if v is not None]
+            if not values:
+                continue
+            if all(
+                isinstance(v, value_types) and not isinstance(v, bool) for v in values
+            ):
+                eligible.append(history)
+        eligible.sort(key=lambda h: (-h.unique_count, h.name))
+        return eligible

@@ -1,0 +1,104 @@
+"""Live-variable analysis (backward may-analysis over the CFG).
+
+Used by the instrumenter to shrink bomb payload arrays: a register the
+woven body only uses as a scratch temporary (dead on entry, dead at the
+join) never needs to travel through the caller/payload array at all.
+
+Standard worklist formulation at instruction granularity::
+
+    live_out[pc] = union of live_in[successors of pc]
+    live_in[pc]  = reads(pc) | (live_out[pc] - writes(pc))
+
+Method parameters are treated as defined at entry; every register is
+dead at RETURN_VOID, only the returned register is live at RETURN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.dex.model import DexMethod
+from repro.dex.opcodes import CONDITIONAL_BRANCHES, Op, UNCONDITIONAL_EXITS
+
+
+def instruction_successors(method: DexMethod) -> List[Tuple[int, ...]]:
+    """Per-pc successor lists (instruction granularity)."""
+    instructions = method.instructions
+    labels = method.label_map()
+    out: List[Tuple[int, ...]] = []
+    last = len(instructions)
+    for pc, instr in enumerate(instructions):
+        op = instr.op
+        successors: List[int] = []
+        if op is Op.GOTO:
+            successors.append(labels[instr.target])
+        elif op in CONDITIONAL_BRANCHES:
+            successors.append(labels[instr.target])
+            if pc + 1 < last:
+                successors.append(pc + 1)
+        elif op is Op.SWITCH:
+            successors.extend(labels[t] for t in instr.value.values())
+            if pc + 1 < last:
+                successors.append(pc + 1)
+        elif op in (Op.RETURN, Op.RETURN_VOID, Op.THROW):
+            pass
+        else:
+            if pc + 1 < last:
+                successors.append(pc + 1)
+        out.append(tuple(dict.fromkeys(successors)))
+    return out
+
+
+def liveness(method: DexMethod) -> Tuple[List[Set[int]], List[Set[int]]]:
+    """Return ``(live_in, live_out)`` register sets per pc."""
+    instructions = method.instructions
+    successors = instruction_successors(method)
+    count = len(instructions)
+    live_in: List[Set[int]] = [set() for _ in range(count)]
+    live_out: List[Set[int]] = [set() for _ in range(count)]
+
+    # Iterate to a fixpoint, walking backwards for fast convergence.
+    changed = True
+    while changed:
+        changed = False
+        for pc in range(count - 1, -1, -1):
+            instr = instructions[pc]
+            out_set: Set[int] = set()
+            for successor in successors[pc]:
+                out_set |= live_in[successor]
+            in_set = set(instr.reads()) | (out_set - set(instr.writes()))
+            if out_set != live_out[pc] or in_set != live_in[pc]:
+                live_out[pc] = out_set
+                live_in[pc] = in_set
+                changed = True
+    return live_in, live_out
+
+
+def live_registers_for_region(
+    method: DexMethod, start: int, end: int
+) -> Set[int]:
+    """Registers a woven region must exchange with its caller.
+
+    The union of:
+
+    * registers live on entry to the region (the body reads them before
+      writing), and
+    * registers the region writes that are still live at the join point
+      (code after the bomb reads them).
+
+    Registers referenced only as region-internal temporaries are
+    excluded -- they get payload-local storage but no array slot.
+    """
+    live_in, _ = liveness(method)
+    entry_live = set(live_in[start]) if start < len(live_in) else set()
+
+    writes: Set[int] = set()
+    reads: Set[int] = set()
+    for instr in method.instructions[start:end]:
+        reads |= set(instr.reads())
+        writes |= set(instr.writes())
+
+    join_live = set(live_in[end]) if end < len(live_in) else set()
+    referenced = reads | writes
+    return referenced & (entry_live | (writes & join_live))

@@ -1,0 +1,274 @@
+"""Qualified-condition (QC) discovery.
+
+Section 3.3: a condition qualifies as a trigger when it checks equality
+of an expression against a statically determinable constant -- ``==``
+on ints/booleans, string ``equals``/``startsWith``/``endsWith``, and
+switch cases (the paper scans for IFEQ, IFNE, IF_ICMPEQ, IF_ICMPNE and
+TABLESWITCH).
+
+Strength (Section 8.3.1) follows the operand type: **string** constants
+give strong obfuscation (unbounded domain), **int** medium (2^32),
+**boolean** weak (2 values).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.defs import constant_in_block, register_used_once
+from repro.dex.model import DexMethod
+from repro.dex.opcodes import Op
+
+_STRING_EQUALITY_CALLS = {
+    "java.str.equals": "str_equals",
+    "java.str.starts_with": "str_starts_with",
+    "java.str.ends_with": "str_ends_with",
+}
+
+_BOOL_PRODUCING_CALLS = set(_STRING_EQUALITY_CALLS) | {"java.str.contains"}
+
+
+class Strength(enum.Enum):
+    """Brute-force resistance class of the trigger constant's domain."""
+
+    WEAK = "weak"        # boolean: |dom| = 2
+    MEDIUM = "medium"    # int: |dom| = 2^32
+    STRONG = "strong"    # string: unbounded domain
+
+    @classmethod
+    def of_value(cls, value) -> "Strength":
+        if isinstance(value, bool):
+            return cls.WEAK
+        if isinstance(value, int):
+            return cls.MEDIUM
+        if isinstance(value, str):
+            return cls.STRONG
+        raise TypeError(f"no strength class for {type(value).__name__}")
+
+
+class QCKind(enum.Enum):
+    """Syntactic shape of the qualified condition."""
+
+    INT_EQ = "int_eq"                  # if_eq / if_ne against a constant
+    STR_EQUALS = "str_equals"          # String.equals + zero test
+    STR_STARTS_WITH = "str_starts_with"
+    STR_ENDS_WITH = "str_ends_with"
+    BOOL_TEST = "bool_test"            # if_eqz / if_nez on a boolean
+    SWITCH_CASE = "switch_case"        # one case of a switch table
+
+
+@dataclass
+class QualifiedCondition:
+    """One discovered QC.
+
+    ``branch_pc``            pc of the conditional branch (or SWITCH)
+    ``var_reg``              register holding the tested expression X
+    ``const_value``          the constant c
+    ``kind``                 syntactic shape
+    ``equal_jumps``          True if equality transfers to ``branch target``;
+                             False if equality falls through
+    ``const_def_pc``         pc of the CONST defining c, when the constant
+                             lives in a register (None for switch keys and
+                             literal bool tests)
+    ``const_reg``            that register (None likewise)
+    ``const_removable``      the CONST can be deleted along with the branch
+    ``compare_pc``           pc of the string-compare INVOKE for STR_* kinds
+    ``case_key``             the matched key for SWITCH_CASE
+    """
+
+    method: DexMethod
+    branch_pc: int
+    var_reg: int
+    const_value: object
+    kind: QCKind
+    equal_jumps: bool
+    const_def_pc: Optional[int] = None
+    const_reg: Optional[int] = None
+    const_removable: bool = False
+    compare_pc: Optional[int] = None
+    case_key: object = None
+
+    @property
+    def strength(self) -> Strength:
+        return Strength.of_value(self.const_value)
+
+    @property
+    def site(self) -> str:
+        return f"{self.method.qualified_name}@{self.branch_pc}"
+
+    def describe(self) -> str:
+        return (
+            f"{self.site}: {self.kind.value} X==" f"{self.const_value!r} ({self.strength.value})"
+        )
+
+
+def _bool_operand_is_sound(method: DexMethod, pc: int, reg: int) -> bool:
+    """True when ``reg`` at ``pc`` is definitely a *boolean* value.
+
+    An ``if_eqz`` on an int would break under the Hash(X)==Hash(False)
+    transformation (0 is falsy but encodes differently than False), so
+    we only accept registers defined by boolean constants or
+    boolean-returning library calls within the block.
+    """
+    instructions = method.instructions
+    cursor = pc - 1
+    while cursor >= 0:
+        instr = instructions[cursor]
+        if instr.op is Op.LABEL:
+            return False
+        if reg in instr.writes():
+            if instr.op is Op.CONST:
+                return isinstance(instr.value, bool)
+            if instr.op is Op.INVOKE:
+                return instr.value in _BOOL_PRODUCING_CALLS
+            if instr.op is Op.MOVE:
+                reg = instr.a
+                cursor -= 1
+                continue
+            return False
+        cursor -= 1
+    return False
+
+
+def find_qualified_conditions(method: DexMethod) -> List[QualifiedCondition]:
+    """All QCs of ``method``, in pc order."""
+    results: List[QualifiedCondition] = []
+    consumed_branch_pcs = set()
+    instructions = method.instructions
+
+    # Pass 1: string-equality calls feeding a zero test.
+    for pc, instr in enumerate(instructions):
+        if instr.op is not Op.INVOKE or instr.value not in _STRING_EQUALITY_CALLS:
+            continue
+        if instr.dst is None or len(instr.args) != 2:
+            continue
+        # The branch must be the next real instruction using the result.
+        branch_pc = _next_real(instructions, pc + 1)
+        if branch_pc is None:
+            continue
+        branch = instructions[branch_pc]
+        if branch.op not in (Op.IF_EQZ, Op.IF_NEZ) or branch.a != instr.dst:
+            continue
+        # One operand must be a constant string -- and a *different*
+        # register than the subject: equals(r, r) is degenerate (the
+        # "variable" is the constant itself) and not transformable.
+        if instr.args[0] == instr.args[1]:
+            continue
+        var_reg = const_info = None
+        for subject, other in ((instr.args[0], instr.args[1]), (instr.args[1], instr.args[0])):
+            info = constant_in_block(method, pc, other)
+            if info is not None and isinstance(info[1], str):
+                var_reg, const_info = subject, info
+                break
+        if const_info is None:
+            continue
+        const_def_pc, const_value = const_info
+        kind = QCKind[_STRING_EQUALITY_CALLS[instr.value].upper()]
+        consumed_branch_pcs.add(branch_pc)
+        # For starts/ends-with the constant is a *fragment*, not the full
+        # trigger operand; key derivation from X would not reproduce it.
+        # Only full equality is transformable, matching the paper's
+        # equality-checking requirement; prefix/suffix QCs are still
+        # reported (they are usable for bogus bombs).
+        results.append(
+            QualifiedCondition(
+                method=method,
+                branch_pc=branch_pc,
+                var_reg=var_reg,
+                const_value=const_value,
+                kind=kind,
+                equal_jumps=branch.op is Op.IF_NEZ,
+                const_def_pc=const_def_pc,
+                const_reg=instructions[const_def_pc].dst,
+                const_removable=register_used_once(
+                    method, instructions[const_def_pc].dst, pc
+                ),
+                compare_pc=pc,
+            )
+        )
+
+    # Pass 2: if_eq / if_ne with one constant operand.
+    for pc, instr in enumerate(instructions):
+        if instr.op not in (Op.IF_EQ, Op.IF_NE):
+            continue
+        if instr.a == instr.b:
+            continue  # degenerate: comparing a register with itself
+        var_reg = const_info = None
+        for subject, other in ((instr.a, instr.b), (instr.b, instr.a)):
+            info = constant_in_block(method, pc, other)
+            if info is not None and not isinstance(info[1], bool) and isinstance(info[1], (int, str)):
+                var_reg, const_info = subject, info
+                break
+        if const_info is None:
+            continue
+        # Skip when both operands are constants (degenerate, nothing to
+        # trigger on).
+        if constant_in_block(method, pc, var_reg) is not None:
+            continue
+        const_def_pc, const_value = const_info
+        const_reg = instructions[const_def_pc].dst
+        results.append(
+            QualifiedCondition(
+                method=method,
+                branch_pc=pc,
+                var_reg=var_reg,
+                const_value=const_value,
+                kind=QCKind.INT_EQ,
+                equal_jumps=instr.op is Op.IF_EQ,
+                const_def_pc=const_def_pc,
+                const_reg=const_reg,
+                const_removable=register_used_once(method, const_reg, pc),
+            )
+        )
+
+    # Pass 3: boolean zero tests.
+    for pc, instr in enumerate(instructions):
+        if instr.op not in (Op.IF_EQZ, Op.IF_NEZ) or pc in consumed_branch_pcs:
+            continue
+        if not _bool_operand_is_sound(method, pc, instr.a):
+            continue
+        results.append(
+            QualifiedCondition(
+                method=method,
+                branch_pc=pc,
+                var_reg=instr.a,
+                # if_eqz jumps when X is False, i.e. equality with False
+                # transfers to the target.
+                const_value=(instr.op is Op.IF_NEZ),
+                kind=QCKind.BOOL_TEST,
+                equal_jumps=True,
+            )
+        )
+
+    # Pass 4: switch cases.
+    for pc, instr in enumerate(instructions):
+        if instr.op is not Op.SWITCH:
+            continue
+        for key in instr.value:
+            if isinstance(key, bool) or not isinstance(key, (int, str)):
+                continue
+            results.append(
+                QualifiedCondition(
+                    method=method,
+                    branch_pc=pc,
+                    var_reg=instr.a,
+                    const_value=key,
+                    kind=QCKind.SWITCH_CASE,
+                    equal_jumps=True,
+                    case_key=key,
+                )
+            )
+
+    results.sort(key=lambda qc: (qc.branch_pc, str(qc.case_key)))
+    return results
+
+
+def _next_real(instructions, pc: int) -> Optional[int]:
+    """Index of the next non-label instruction at or after ``pc``."""
+    while pc < len(instructions):
+        if instructions[pc].op is not Op.LABEL:
+            return pc
+        pc += 1
+    return None

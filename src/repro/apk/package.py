@@ -1,0 +1,107 @@
+"""The APK container: pack, unpack, verify, install.
+
+An :class:`Apk` is a named-entry container (our stand-in for the signed
+zip).  ``build_apk`` packages a DexFile + Resources and signs with the
+developer key; ``Apk.verify`` re-checks digests and the signature (what
+the Android installer does); ``Apk.install_view`` produces the
+:class:`repro.vm.runtime.InstalledPackage` snapshot the system retains
+and app processes read at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.apk.manifest import Manifest
+from repro.apk.resources import Resources
+from repro.apk.signing import Certificate, sign_apk_entries, verify_apk_entries
+from repro.crypto import RSAKeyPair
+from repro.dex.model import DexFile
+from repro.dex.serializer import deserialize_dex, serialize_dex
+from repro.errors import ApkError, SignatureError
+from repro.vm.runtime import InstalledPackage
+
+ENTRY_DEX = "classes.dex"
+ENTRY_STRINGS = "res/strings.xml"
+ENTRY_ICON = "res/icon.png"
+ENTRY_APP_MANIFEST = "AndroidManifest.xml"
+
+_SIGNED_ENTRIES = (ENTRY_DEX, ENTRY_STRINGS, ENTRY_ICON, ENTRY_APP_MANIFEST)
+
+
+@dataclass
+class Apk:
+    """A (possibly signed) application package."""
+
+    entries: Dict[str, bytes]
+    manifest: Manifest
+    cert: Certificate
+
+    # -- reads ----------------------------------------------------------------
+
+    def dex(self) -> DexFile:
+        """Parse classes.dex (what apktool/dex2jar do for the attacker)."""
+        return deserialize_dex(self.entry(ENTRY_DEX))
+
+    def resources(self) -> Resources:
+        meta = self.entry(ENTRY_APP_MANIFEST).decode("utf-8").splitlines()
+        fields = dict(line.split("=", 1) for line in meta if "=" in line)
+        resources = Resources.from_xml(
+            self.entry(ENTRY_STRINGS).decode("utf-8"),
+            icon=self.entry(ENTRY_ICON),
+            app_name=fields.get("name", "App"),
+            author=fields.get("author", ""),
+        )
+        resources.assets = {
+            name[len("assets/") :]: data
+            for name, data in self.entries.items()
+            if name.startswith("assets/")
+        }
+        return resources
+
+    def entry(self, name: str) -> bytes:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise ApkError(f"APK has no entry {name!r}") from None
+
+    def total_size(self) -> int:
+        """Approximate APK size in bytes (code-size-increase metric)."""
+        return sum(len(data) for data in self.entries.values())
+
+    # -- integrity ---------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Installer-side check: digests match and signature verifies."""
+        if not self.manifest.matches(self.entries):
+            raise SignatureError("MANIFEST.MF digests do not match APK entries")
+        verify_apk_entries(self.manifest.serialize(), self.cert)
+
+    def install_view(self) -> InstalledPackage:
+        """Install the APK: verify, then snapshot what the system keeps."""
+        self.verify()
+        return InstalledPackage(
+            cert_fingerprint_hex=self.cert.fingerprint_hex(),
+            manifest_digests=dict(self.manifest.digests),
+            resources=dict(self.resources().strings),
+            code_blob=self.entry(ENTRY_DEX),
+        )
+
+
+def build_apk(dex: DexFile, resources: Resources, keypair: RSAKeyPair) -> Apk:
+    """Package and sign an app (the final "Packaging" stage of Fig. 1)."""
+    app_manifest = (
+        f"name={resources.app_name}\nauthor={resources.author}\n".encode("utf-8")
+    )
+    entries = {
+        ENTRY_DEX: serialize_dex(dex),
+        ENTRY_STRINGS: resources.serialize(),
+        ENTRY_ICON: resources.icon,
+        ENTRY_APP_MANIFEST: app_manifest,
+    }
+    for name, data in resources.assets.items():
+        entries[f"assets/{name}"] = data
+    manifest = Manifest.over_entries(entries)
+    cert = sign_apk_entries(manifest.serialize(), keypair)
+    return Apk(entries=entries, manifest=manifest, cert=cert)

@@ -1,0 +1,87 @@
+"""App resources: strings.xml, icon, author metadata.
+
+``strings.xml`` is modeled as an ordered mapping of string keys to
+values; it matters to BombDroid because digest fragments are hidden in
+it steganographically (Section 4.1, Code Digest Comparison) and because
+repackagers commonly swap the app name/author strings and the icon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ApkError
+
+
+@dataclass
+class Resources:
+    """Everything under ``res/`` plus the app metadata attackers retouch.
+
+    ``assets`` models the images/audio/data files that dominate real APK
+    sizes -- code is typically a small fraction of an APK, which is the
+    denominator behind the paper's single-digit size-increase numbers.
+    """
+
+    strings: Dict[str, str] = field(default_factory=dict)
+    icon: bytes = b"\x89ICON\x00default"
+    app_name: str = "App"
+    author: str = "developer"
+    assets: Dict[str, bytes] = field(default_factory=dict)
+
+    def to_xml(self) -> str:
+        """Render strings.xml (canonical order, used for digesting)."""
+        lines = ['<?xml version="1.0" encoding="utf-8"?>', "<resources>"]
+        for key in sorted(self.strings):
+            value = _xml_escape(self.strings[key])
+            lines.append(f'    <string name="{key}">{value}</string>')
+        lines.append("</resources>")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_xml(cls, text: str, icon: bytes = b"", app_name: str = "App", author: str = "") -> "Resources":
+        """Parse the subset of XML produced by :meth:`to_xml`."""
+        strings: Dict[str, str] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line.startswith("<string name="):
+                continue
+            if not line.endswith("</string>"):
+                raise ApkError(f"malformed strings.xml line: {line!r}")
+            try:
+                key = line.split('"', 2)[1]
+                value = line.split(">", 1)[1].rsplit("</string>", 1)[0]
+            except IndexError:
+                raise ApkError(f"malformed strings.xml line: {line!r}") from None
+            strings[key] = _xml_unescape(value)
+        return cls(strings=strings, icon=icon, app_name=app_name, author=author)
+
+    def serialize(self) -> bytes:
+        return self.to_xml().encode("utf-8")
+
+    def copy(self) -> "Resources":
+        return Resources(
+            strings=dict(self.strings),
+            icon=self.icon,
+            app_name=self.app_name,
+            author=self.author,
+            assets=dict(self.assets),
+        )
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _xml_unescape(text: str) -> str:
+    return (
+        text.replace("&quot;", '"')
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+    )

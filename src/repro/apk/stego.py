@@ -1,0 +1,73 @@
+"""Steganography for hiding digest fragments in strings.xml.
+
+Section 4.1: the original code digest ``Do`` cannot be hard-coded into
+the code file it digests, so BombDroid hides it inside string resources
+instead.  We use letter-casing steganography: data bits are encoded in
+the upper/lower case of the letters of a cover sentence.  The carrier
+still reads as an ordinary UI string, and an attacker "does not know
+how to manipulate strings in strings.xml even when they look
+suspicious" because the extraction logic lives inside encrypted payload
+code.
+
+Each letter carries one bit (uppercase = 1); non-letters are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ApkError
+
+
+def stego_capacity(cover: str) -> int:
+    """Number of payload *bits* the cover text can carry."""
+    return sum(1 for ch in cover if ch.isalpha())
+
+
+def _bits_of(data: bytes) -> Iterator[int]:
+    for byte in data:
+        for shift in range(7, -1, -1):
+            yield (byte >> shift) & 1
+
+
+def embed_in_cover(cover: str, data: bytes) -> str:
+    """Hide ``data`` in the letter casing of ``cover``.
+
+    Raises :class:`ApkError` if the cover has too few letters.
+    """
+    needed = len(data) * 8
+    if stego_capacity(cover) < needed:
+        raise ApkError(
+            f"cover text carries {stego_capacity(cover)} bits, need {needed}"
+        )
+    bits = _bits_of(data)
+    out = []
+    remaining = needed
+    for ch in cover:
+        if remaining > 0 and ch.isalpha():
+            bit = next(bits)
+            out.append(ch.upper() if bit else ch.lower())
+            remaining -= 1
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def extract_from_cover(carrier: str, length: int) -> bytes:
+    """Recover ``length`` bytes hidden by :func:`embed_in_cover`."""
+    needed = length * 8
+    bits = []
+    for ch in carrier:
+        if ch.isalpha():
+            bits.append(1 if ch.isupper() else 0)
+            if len(bits) == needed:
+                break
+    if len(bits) < needed:
+        raise ApkError(f"carrier holds only {len(bits)} bits, need {needed}")
+    out = bytearray()
+    for start in range(0, needed, 8):
+        byte = 0
+        for bit in bits[start : start + 8]:
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)

@@ -1,0 +1,52 @@
+"""Adversary analyses (Section 2.1's attack taxonomy).
+
+Every attack from the paper's threat model is implemented against both
+BombDroid-protected apps and the SSN baseline:
+
+``text_search``        grep the disassembly for suspicious names
+``fuzzing``            blackbox fuzzing with Monkey/PUMA/AndroidHooker/
+                       Dynodroid on attacker lab devices
+``symbolic``           symbolic execution with a constraint solver
+                       (TriggerScope role) -- defeated by hashed outer
+                       conditions (G1)
+``forced_execution``   force both sides of suspicious branches
+                       (Wilhelm & Chiueh) -- defeated by encryption (G2)
+``slicing_attack``     backward slicing + slice execution (HARVESTER)
+``instrumentation``    make rand deterministic, log reflection targets,
+                       patch constants -- kills SSN, bounces off bombs
+``deletion``           delete suspicious code -- corrupts woven apps (G4)
+``brute_force``        enumerate dom(X) against Hash(X|salt)==Hc;
+                       strength classes of Figure 4
+``debugging``          the human-analyst model of Section 8.3.2
+"""
+
+from repro.attacks.base import AttackResult
+from repro.attacks.text_search import TextSearchAttack, SUSPICIOUS_PATTERNS
+from repro.attacks.brute_force import BruteForceAttack, CrackOutcome, classify_strength_cost
+from repro.attacks.deletion import DeletionAttack
+from repro.attacks.instrumentation import InstrumentationAttack
+from repro.attacks.forced_execution import ForcedExecutionAttack
+from repro.attacks.slicing_attack import SlicingAttack
+from repro.attacks.debugging import DebuggerAttack, HumanAnalystAttack
+from repro.attacks.fuzzing import FuzzingAttack
+from repro.attacks.symbolic import SymbolicExplorer, SymbolicAttack
+from repro.attacks.hooking import VTableHijackAttack
+
+__all__ = [
+    "AttackResult",
+    "TextSearchAttack",
+    "SUSPICIOUS_PATTERNS",
+    "BruteForceAttack",
+    "CrackOutcome",
+    "classify_strength_cost",
+    "DeletionAttack",
+    "InstrumentationAttack",
+    "ForcedExecutionAttack",
+    "SlicingAttack",
+    "DebuggerAttack",
+    "HumanAnalystAttack",
+    "FuzzingAttack",
+    "SymbolicExplorer",
+    "SymbolicAttack",
+    "VTableHijackAttack",
+]

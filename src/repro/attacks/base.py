@@ -1,0 +1,33 @@
+"""Common attack-result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one adversary analysis against one app.
+
+    ``defeated_defense`` is the attacker's verdict: True when the attack
+    yields a repackagable app with detection neutralized (or payloads
+    fully exposed) *without* corrupting the app.
+    """
+
+    attack: str
+    defeated_defense: bool
+    bombs_found: List[str] = field(default_factory=list)      # sites located
+    bombs_exposed: List[str] = field(default_factory=list)    # payloads read
+    bombs_disabled: List[str] = field(default_factory=list)   # neutralized safely
+    app_corrupted: bool = False
+    details: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def summary(self) -> str:
+        verdict = "DEFEATED" if self.defeated_defense else "resisted"
+        return (
+            f"{self.attack}: defense {verdict} "
+            f"(found={len(self.bombs_found)}, exposed={len(self.bombs_exposed)}, "
+            f"disabled={len(self.bombs_disabled)}, corrupted={self.app_corrupted})"
+        )

@@ -1,0 +1,142 @@
+"""Code-deletion attack (Section 2.1 / 3.4).
+
+"A trivial attack is to delete any suspicious code."  The attacker
+locates every bomb prologue (they are syntactically recognizable:
+``invoke bomb.hash``) and disables it by rewriting the hash-check
+branch into an unconditional jump to its no-match continuation -- the
+payload can then never run.
+
+The defense's answer is weaving: for a woven bomb the no-match path
+*skips the original body*, so the app is corrupted exactly when the
+deleted trigger would have fired.  Bogus bombs corrupt the app the same
+way while never having carried detection at all.
+
+``DeletionAttack.run`` performs the deletion and then *measures* the
+corruption by differential testing against the original app.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.apk.package import Apk, build_apk
+from repro.attacks.base import AttackResult
+from repro.crypto import RSAKeyPair
+from repro.dex import instructions as ins
+from repro.dex.model import DexFile
+from repro.dex.opcodes import Op
+from repro.errors import VMError
+from repro.fuzzing.generators import DynodroidGenerator
+from repro.vm.device import DeviceProfile, DevicePopulation
+from repro.vm.runtime import Runtime
+
+
+def strip_bombs(dex: DexFile) -> int:
+    """Disable every bomb prologue in place; returns sites patched.
+
+    A prologue is ``invoke rH, bomb.hash, ...`` followed (within a few
+    instructions) by ``if_eqz rEq, @continue``; rewriting that branch to
+    ``goto @continue`` guarantees the payload never runs.
+    """
+    patched = 0
+    for method in dex.iter_methods():
+        instructions = method.instructions
+        for pc, instr in enumerate(instructions):
+            if instr.op is not Op.INVOKE or instr.value != "bomb.hash":
+                continue
+            for look in range(pc + 1, min(pc + 6, len(instructions))):
+                candidate = instructions[look]
+                if candidate.op is Op.IF_EQZ:
+                    instructions[look] = ins.goto(candidate.target)
+                    patched += 1
+                    break
+        method.invalidate()
+    return patched
+
+
+class DeletionAttack:
+    """Delete bombs, repackage, and measure what it did to the app."""
+
+    def __init__(self, differential_events: int = 800, seed: int = 0) -> None:
+        self._events = differential_events
+        self._seed = seed
+
+    def run(
+        self,
+        protected: Apk,
+        attacker_key: RSAKeyPair,
+        original: Optional[Apk] = None,
+    ) -> AttackResult:
+        dex = protected.dex()
+        patched = strip_bombs(dex)
+        dex.validate()
+        stripped = build_apk(dex, protected.resources(), attacker_key)
+
+        corrupted = False
+        divergences = 0
+        crashes = 0
+        if original is not None:
+            divergences, crashes = self._differential_test(original, stripped)
+            corrupted = divergences > 0 or crashes > 0
+
+        return AttackResult(
+            attack="code_deletion",
+            # Deleting succeeds at silencing detection, but a corrupted
+            # app is not a sellable repackage -- the defense holds when
+            # weaving made deletion destructive.
+            defeated_defense=patched > 0 and not corrupted,
+            bombs_found=[f"site{index}" for index in range(patched)],
+            bombs_disabled=[f"site{index}" for index in range(patched)],
+            app_corrupted=corrupted,
+            details={
+                "sites_patched": patched,
+                "state_divergences": divergences,
+                "new_crashes": crashes,
+            },
+        )
+
+    def _differential_test(self, original: Apk, stripped: Apk) -> Tuple[int, int]:
+        """Run both apps on one device/event-stream; count behavioral
+        differences (diverged static state, crashes only in the
+        stripped app)."""
+        population = DevicePopulation(seed=self._seed)
+        device_a = population.sample()
+        device_b = device_a.copy()
+        runtime_a = Runtime(
+            original.dex(), device=device_a,
+            package=original.install_view(), seed=self._seed,
+        )
+        runtime_b = Runtime(
+            stripped.dex(), device=device_b,
+            package=stripped.install_view(), seed=self._seed,
+        )
+        for runtime in (runtime_a, runtime_b):
+            try:
+                runtime.boot()
+            except VMError:
+                pass
+
+        generator = DynodroidGenerator(original.dex(), seed=self._seed + 1)
+        divergences = 0
+        crashes = 0
+        for event in generator.stream(self._events):
+            crash_a = crash_b = False
+            try:
+                runtime_a.dispatch(event)
+            except VMError:
+                crash_a = True
+            try:
+                runtime_b.dispatch(event)
+            except VMError:
+                crash_b = True
+            if crash_b and not crash_a:
+                crashes += 1
+        app_fields = {
+            key: value
+            for key, value in runtime_a.statics.items()
+            if not key.startswith("Bomb$")
+        }
+        for key, value in app_fields.items():
+            if runtime_b.statics.get(key) != value:
+                divergences += 1
+        return divergences, crashes

@@ -1,0 +1,291 @@
+"""Command-line interface.
+
+::
+
+    python -m repro build     --name AndroFish --out app.apk
+    python -m repro protect   --in app.apk --out protected.apk --key-seed 11
+    python -m repro inspect   --in protected.apk [--disassemble]
+    python -m repro repackage --in protected.apk --out pirated.apk --key-seed 666
+    python -m repro simulate  --in pirated.apk --devices 10 --events 600
+    python -m repro attack    --in protected.apk --attack symbolic
+
+APK files on disk are the serialized entry container (a simple binary
+framing of the entries, manifest and certificate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+from typing import List
+
+from repro.apk.manifest import Manifest
+from repro.apk.package import Apk
+from repro.apk.signing import Certificate
+from repro.core import BombDroid, BombDroidConfig
+from repro.corpus import NAMED_APPS, build_app, build_named_app
+from repro.crypto import RSAKeyPair
+from repro.errors import ApkError, VMError
+from repro.repack import repackage
+
+
+# ---------------------------------------------------------------------------
+# On-disk APK framing
+# ---------------------------------------------------------------------------
+
+_MAGIC = b"RAPK"
+
+
+def save_apk(apk: Apk, path: str) -> None:
+    """Write an APK container to disk."""
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack(">H", len(apk.entries)))
+        for name in sorted(apk.entries):
+            blob = apk.entries[name]
+            encoded = name.encode("utf-8")
+            handle.write(struct.pack(">H", len(encoded)))
+            handle.write(encoded)
+            handle.write(struct.pack(">I", len(blob)))
+            handle.write(blob)
+        cert = apk.cert.serialize()
+        handle.write(struct.pack(">I", len(cert)))
+        handle.write(cert)
+
+
+def load_apk(path: str) -> Apk:
+    """Read an APK container from disk."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[:4] != _MAGIC:
+        raise ApkError(f"{path} is not a repro APK file")
+    offset = 4
+    (count,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    entries = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        name = data[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        (blob_len,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        entries[name] = data[offset : offset + blob_len]
+        offset += blob_len
+    (cert_len,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    cert = Certificate.parse(data[offset : offset + cert_len])
+    manifest = Manifest.parse(entries["META-INF/MANIFEST.MF"]) if (
+        "META-INF/MANIFEST.MF" in entries
+    ) else Manifest.over_entries(entries)
+    entries.pop("META-INF/MANIFEST.MF", None)
+    return Apk(entries=entries, manifest=manifest, cert=cert)
+
+
+def _save_with_manifest(apk: Apk, path: str) -> None:
+    carrier = Apk(
+        entries={**apk.entries, "META-INF/MANIFEST.MF": apk.manifest.serialize()},
+        manifest=apk.manifest,
+        cert=apk.cert,
+    )
+    save_apk(carrier, path)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_build(args) -> int:
+    named = {spec.name for spec in NAMED_APPS}
+    if args.name in named:
+        bundle = build_named_app(args.name)
+    else:
+        bundle = build_app(args.name, category=args.category, seed=args.seed, scale=args.scale)
+    _save_with_manifest(bundle.apk, args.out)
+    print(f"built {args.name}: {bundle.dex.instruction_count()} instructions -> {args.out}")
+    print(f"developer key seed: {args.seed + 7000 if args.name not in named else 'see corpus spec'}")
+    return 0
+
+
+def _cmd_protect(args) -> int:
+    apk = load_apk(getattr(args, "in"))
+    key = RSAKeyPair.generate(seed=args.key_seed)
+    if apk.cert.fingerprint_hex() != key.public.fingerprint().hex():
+        print("warning: --key-seed does not match the APK's signer; bombs will "
+              "treat the APK's current key as genuine", file=sys.stderr)
+    config = BombDroidConfig(
+        seed=args.seed,
+        profiling_events=args.profiling_events,
+        alpha=args.alpha,
+        double_trigger=not args.single_trigger,
+        mute_after_detection=args.mute,
+    )
+    protected, report = BombDroid(config).protect(apk, key)
+    _save_with_manifest(protected, args.out)
+    print(report.summary())
+    print(f"size increase: {report.size_increase:+.1%} -> {args.out}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    apk = load_apk(getattr(args, "in"))
+    try:
+        apk.verify()
+        status = "signature OK"
+    except Exception as exc:
+        status = f"signature INVALID ({exc})"
+    dex = apk.dex()
+    print(f"signer: {apk.cert.fingerprint_hex()}  [{status}]")
+    print(f"classes: {len(dex.classes)}  methods: {sum(1 for _ in dex.iter_methods())}  "
+          f"instructions: {dex.instruction_count()}")
+    from repro.dex.opcodes import Op
+
+    bomb_sites = sum(
+        1
+        for method in dex.iter_methods()
+        for instr in method.instructions
+        if instr.op is Op.INVOKE and instr.value == "bomb.hash"
+    )
+    print(f"visible bomb sites: {bomb_sites}")
+    if args.disassemble:
+        from repro.dex.disassembler import disassemble
+
+        print(disassemble(dex))
+    return 0
+
+
+def _cmd_repackage(args) -> int:
+    apk = load_apk(getattr(args, "in"))
+    attacker = RSAKeyPair.generate(seed=args.key_seed)
+    pirated = repackage(apk, attacker)
+    _save_with_manifest(pirated, args.out)
+    print(f"repackaged with key {attacker.public.fingerprint().hex()[:16]}... -> {args.out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.fuzzing import DynodroidGenerator
+    from repro.vm import DevicePopulation, Runtime
+
+    apk = load_apk(getattr(args, "in"))
+    population = DevicePopulation(seed=args.seed)
+    detected = 0
+    for index in range(args.devices):
+        runtime = Runtime(
+            apk.dex(), device=population.sample(),
+            package=apk.install_view(), seed=index,
+        )
+        try:
+            runtime.boot()
+        except VMError:
+            pass
+        for event in DynodroidGenerator(apk.dex(), seed=index).stream(args.events):
+            try:
+                runtime.dispatch(event)
+            except VMError:
+                pass
+        marker = "DETECTED" if runtime.detections else "quiet"
+        print(f"device {index}: {marker}  "
+              f"(bombs evaluated: {len(runtime.bombs.bombs_with('evaluated'))}, "
+              f"reports: {len(runtime.reports)})")
+        detected += bool(runtime.detections)
+    print(f"\nrepackaging detected on {detected}/{args.devices} devices")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.attacks import (
+        DeletionAttack,
+        ForcedExecutionAttack,
+        SlicingAttack,
+        SymbolicAttack,
+        TextSearchAttack,
+    )
+
+    apk = load_apk(getattr(args, "in"))
+    attacks = {
+        "text": lambda: TextSearchAttack().run(apk),
+        "symbolic": lambda: SymbolicAttack(max_paths=48).run(apk),
+        "forced": lambda: ForcedExecutionAttack(seed=args.seed, per_method_branches=4).run(apk),
+        "slicing": lambda: SlicingAttack(seed=args.seed).run(apk),
+        "deletion": lambda: DeletionAttack(seed=args.seed).run(
+            apk, RSAKeyPair.generate(seed=9999)
+        ),
+    }
+    result = attacks[args.attack]()
+    print(result.summary())
+    if result.notes:
+        print(f"notes: {result.notes}")
+    for key, value in result.details.items():
+        if isinstance(value, (int, float, str, bool)):
+            print(f"  {key}: {value}")
+    return 0 if not result.defeated_defense else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BombDroid reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="generate a synthetic app APK")
+    build.add_argument("--name", required=True,
+                       help="app name; one of the eight named apps or any string")
+    build.add_argument("--category", default="Game")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--scale", type=float, default=0.5)
+    build.add_argument("--out", required=True)
+    build.set_defaults(func=_cmd_build)
+
+    protect = sub.add_parser("protect", help="run the BombDroid pipeline")
+    protect.add_argument("--in", required=True)
+    protect.add_argument("--out", required=True)
+    protect.add_argument("--key-seed", type=int, required=True,
+                         help="developer signing key seed")
+    protect.add_argument("--seed", type=int, default=0)
+    protect.add_argument("--profiling-events", type=int, default=1500)
+    protect.add_argument("--alpha", type=float, default=0.25)
+    protect.add_argument("--single-trigger", action="store_true")
+    protect.add_argument("--mute", action="store_true",
+                         help="strategic muting after first detection")
+    protect.set_defaults(func=_cmd_protect)
+
+    inspect = sub.add_parser("inspect", help="summarize / disassemble an APK")
+    inspect.add_argument("--in", required=True)
+    inspect.add_argument("--disassemble", action="store_true")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    repack = sub.add_parser("repackage", help="the adversary's pipeline")
+    repack.add_argument("--in", required=True)
+    repack.add_argument("--out", required=True)
+    repack.add_argument("--key-seed", type=int, default=666)
+    repack.set_defaults(func=_cmd_repackage)
+
+    simulate = sub.add_parser("simulate", help="play an APK on user devices")
+    simulate.add_argument("--in", required=True)
+    simulate.add_argument("--devices", type=int, default=10)
+    simulate.add_argument("--events", type=int, default=600)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    attack = sub.add_parser("attack", help="run an adversary analysis")
+    attack.add_argument("--in", required=True)
+    attack.add_argument(
+        "--attack", choices=["text", "symbolic", "forced", "slicing", "deletion"],
+        required=True,
+    )
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(func=_cmd_attack)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""BombDroid: the paper's primary contribution.
+
+The pipeline (Fig. 1) transforms a signed APK into a protected, unsigned
+APK whose code is laced with cryptographically obfuscated logic bombs:
+
+1. unpack the APK, extract the public key from CERT.RSA;
+2. profile hot methods and field entropy (Dynodroid + Traceview role);
+3. discover existing qualified conditions and construct artificial
+   ones in candidate methods;
+4. for each site build a double-trigger bomb: the outer condition is
+   hashed (``Hash(X|salt) == Hc``), the payload (inner environment
+   trigger + repackaging detection + response + woven original code) is
+   AES-encrypted under ``KDF(c, salt)`` and the key constant is removed
+   from the code;
+5. optionally add bogus bombs; re-serialize, hide digests in
+   strings.xml, and package.
+
+Public API::
+
+    from repro.core import BombDroid, BombDroidConfig
+    protected_apk, report = BombDroid(BombDroidConfig(seed=1)).protect(apk, developer_key)
+"""
+
+from repro.core.config import BombDroidConfig, DetectionMethod, ResponseKind
+from repro.core.stats import Bomb, BombOrigin, InstrumentationReport
+from repro.core.inner_triggers import InnerCondition, Constraint, build_inner_condition
+from repro.core.bombdroid import BombDroid
+from repro.core.ssn import SSNConfig, SSNProtector
+
+__all__ = [
+    "BombDroid",
+    "BombDroidConfig",
+    "DetectionMethod",
+    "ResponseKind",
+    "Bomb",
+    "BombOrigin",
+    "InstrumentationReport",
+    "InnerCondition",
+    "Constraint",
+    "build_inner_condition",
+    "SSNConfig",
+    "SSNProtector",
+]

@@ -1,0 +1,399 @@
+"""The BombDroid pipeline (Fig. 1 of the paper).
+
+``BombDroid(config).protect(apk, developer_key)`` runs the four steps:
+
+1. **Unpacking** -- parse the APK, extract the public key (fingerprint)
+   that detection payloads will compare against.
+2. **Static + dynamic analysis** -- profile hot methods (Dynodroid +
+   Traceview role) and static-field entropy; discover existing
+   qualified conditions in candidate methods; exclude loops.
+3. **Bytecode instrumentation** -- transform existing QCs into
+   double-trigger bombs (weaving bodies where possible), insert
+   artificial QCs into α of the candidate methods, add bogus bombs.
+4. **Packaging** -- serialize, hide the code digest in strings.xml
+   steganographically, and sign.
+
+Returns ``(protected_apk, InstrumentationReport)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.entropy import FieldValueProfiler
+from repro.analysis.loops import instructions_in_loops
+from repro.analysis.profiler import profile_hot_methods
+from repro.analysis.qualified_conditions import (
+    QCKind,
+    QualifiedCondition,
+    find_qualified_conditions,
+)
+from repro.analysis.regions import body_region
+from repro.analysis.defs import use_sites
+from repro.apk.package import Apk, build_apk
+from repro.apk.stego import embed_in_cover, stego_capacity
+from repro.core.config import BombDroidConfig, DetectionMethod
+from repro.core.inner_triggers import build_inner_condition
+from repro.core.instrumenter import Instrumenter
+from repro.core.stats import Bomb, BombOrigin, InstrumentationReport
+from repro.crypto import RSAKeyPair, sha1_hex
+from repro.dex.hashing import method_instruction_hash
+from repro.dex.model import DexFile, DexMethod
+from repro.dex.opcodes import Op, UNCONDITIONAL_EXITS
+from repro.dex.serializer import serialize_dex
+from repro.errors import InstrumentationError
+from repro.fuzzing.generators import DynodroidGenerator
+from repro.vm.device import DevicePopulation
+from repro.vm.runtime import Runtime
+
+#: Cover sentence used when the app has no string long enough to carry
+#: the hidden digest.  Reads like an ordinary tagline.
+_DEFAULT_COVER = (
+    "thank you for installing this application we hope you enjoy using it "
+    "every single day and tell all of your friends about the experience"
+)
+
+
+class BombDroid:
+    """The protection pipeline."""
+
+    def __init__(self, config: BombDroidConfig = None) -> None:
+        self.config = config or BombDroidConfig()
+
+    # ------------------------------------------------------------------
+
+    def protect(self, apk: Apk, developer_key: RSAKeyPair) -> Tuple[Apk, InstrumentationReport]:
+        """Protect ``apk``; the result is re-signed with ``developer_key``.
+
+        The input APK must be signed by the same developer: its public
+        key is what the bombs will treat as genuine.
+        """
+        config = self.config
+        rng = random.Random(config.seed)
+
+        dex = apk.dex()  # fresh parse: our working copy
+        resources = apk.resources().copy()
+        original_key_hex = apk.cert.fingerprint_hex()
+        report = InstrumentationReport(
+            app_name=resources.app_name,
+            size_before=apk.total_size(),
+            instructions_before=dex.instruction_count(),
+        )
+
+        # -- step 2: profiling ------------------------------------------------
+        hot_profile, entropy = self._profile(apk, rng)
+        report.hot_methods = sorted(hot_profile.hot_methods)
+        candidates = (
+            hot_profile.candidate_methods
+            if config.exclude_hot_methods
+            else sorted(m.qualified_name for m in dex.iter_methods())
+        )
+        report.candidate_methods = list(candidates)
+
+        # Code-scan bombs pin methods that will never be instrumented.
+        scan_targets = [
+            (name, method_instruction_hash(dex.get_method(name)))
+            for name in report.hot_methods
+        ]
+        app_static_fields = [
+            f"{cls.name}.{f.name}"
+            for cls in dex.classes.values()
+            for f in cls.static_fields()
+        ]
+
+        mute_flag = None
+        if config.mute_after_detection:
+            mute_flag = self._install_mute_flag(dex)
+
+        instrumenter = Instrumenter(
+            dex,
+            config,
+            rng,
+            app_name=resources.app_name,
+            original_key_hex=original_key_hex,
+            scan_targets=scan_targets,
+            app_static_fields=app_static_fields,
+            mute_flag=mute_flag,
+        )
+
+        # -- step 3a: existing QCs ---------------------------------------------
+        bombs = self._transform_existing(dex, candidates, instrumenter, rng, report)
+        report.bombs.extend(bombs)
+
+        # -- step 3b: artificial QCs ----------------------------------------------
+        report.bombs.extend(
+            self._insert_artificial(dex, candidates, instrumenter, entropy, rng)
+        )
+
+        dex.validate()
+
+        # -- step 4: packaging ---------------------------------------------------
+        new_resources = self._embed_digest(dex, resources)
+        protected = build_apk(dex, new_resources, developer_key)
+        report.size_after = protected.total_size()
+        report.instructions_after = dex.instruction_count()
+        return protected, report
+
+    @staticmethod
+    def _install_mute_flag(dex: DexFile) -> str:
+        """Add the shared muting flag (Section 10's strategic muting).
+
+        A disguised name and an int initial value keep it shaped like
+        ordinary app state.
+        """
+        from repro.dex.model import DexClass, DexField
+
+        holder = sorted(dex.classes)[0]
+        cls = dex.classes[holder]
+        name = "cfg_cache"
+        if name not in cls.fields:
+            cls.add_field(DexField(name=name, static=True, initial=False))
+        return f"{holder}.{name}"
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+
+    def _profile(self, apk: Apk, rng: random.Random):
+        """Hot-method and field-entropy profiling on the original app."""
+        config = self.config
+        dex = apk.dex()
+        runtime = Runtime(
+            dex,
+            device=DevicePopulation(seed=config.seed).sample(),
+            package=apk.install_view(),
+            seed=config.seed,
+        )
+        try:
+            runtime.boot()
+        except Exception:
+            pass
+        generator = DynodroidGenerator(dex, seed=config.seed)
+        entropy = FieldValueProfiler()
+        entropy.sample(runtime)
+        sample_every = max(1, config.profiling_events // 60)  # ~once a "minute"
+
+        def on_event(index: int, rt) -> None:
+            if index % sample_every == 0:
+                entropy.sample(rt)
+
+        try:
+            events = generator.stream(config.profiling_events)
+        except ValueError:
+            events = []
+        profile = profile_hot_methods(
+            runtime,
+            events,
+            top_fraction=config.hot_fraction,
+            on_event=on_event,
+        )
+        return profile, entropy
+
+    # ------------------------------------------------------------------
+    # existing QCs
+    # ------------------------------------------------------------------
+
+    def _transform_existing(
+        self,
+        dex: DexFile,
+        candidates: List[str],
+        instrumenter: Instrumenter,
+        rng: random.Random,
+        report: InstrumentationReport,
+    ) -> List[Bomb]:
+        config = self.config
+        bombs: List[Bomb] = []
+        for name in candidates:
+            method = dex.get_method(name)
+            qcs = find_qualified_conditions(method)
+            report.existing_qcs_found += len(qcs)
+            if not qcs:
+                continue
+            forbidden = instructions_in_loops(method) if config.avoid_loops else set()
+            plans = self._plan_method(method, qcs, forbidden, rng)
+            count = 0
+            for qc, region, real in plans:
+                if count >= config.max_bombs_per_method:
+                    break
+                inner = (
+                    build_inner_condition(rng, config.inner_probability)
+                    if config.double_trigger
+                    else None
+                )
+                try:
+                    if region is not None and config.weave:
+                        bomb = instrumenter.transform_weavable(
+                            method, qc, region, inner, real=real
+                        )
+                    else:
+                        bomb = instrumenter.transform_payload_only(
+                            method, qc, inner, real=real
+                        )
+                except InstrumentationError:
+                    continue
+                bombs.append(bomb)
+                count += 1
+        return bombs
+
+    def _plan_method(
+        self,
+        method: DexMethod,
+        qcs: List[QualifiedCondition],
+        forbidden: Set[int],
+        rng: random.Random,
+    ):
+        """Order and de-conflict the QCs of one method.
+
+        Transforms run bottom-up (descending pc) so earlier sites stay
+        valid; overlapping claims are dropped; a ``bogus_ratio`` slice of
+        the sites becomes bogus bombs.
+        """
+        config = self.config
+        usable = []
+        for qc in qcs:
+            if qc.branch_pc in forbidden:
+                continue
+            if qc.kind in (QCKind.STR_STARTS_WITH, QCKind.STR_ENDS_WITH):
+                # Prefix/suffix checks cannot reproduce the key from X.
+                continue
+            if qc.compare_pc is not None:
+                if qc.branch_pc != qc.compare_pc + 1:
+                    continue
+                result_reg = method.instructions[qc.compare_pc].dst
+                if use_sites(method, result_reg) != [qc.branch_pc]:
+                    continue
+            region = body_region(method, qc)
+            if region is not None and qc.kind is QCKind.SWITCH_CASE:
+                if not self._switch_case_isolated(method, qc):
+                    region = None
+            usable.append((qc, region))
+
+        # De-conflict: claim [min_pc, max_pc) intervals bottom-up.
+        usable.sort(key=lambda pair: -pair[0].branch_pc)
+        claimed: List[Tuple[int, int]] = []
+        planned = []
+        for qc, region in usable:
+            lo = qc.compare_pc if qc.compare_pc is not None else qc.branch_pc
+            if qc.const_def_pc is not None:
+                lo = min(lo, qc.const_def_pc)
+            hi = region.end if region is not None else qc.branch_pc + 1
+            hi = max(hi, qc.branch_pc + 1)
+            if any(not (hi <= s or e <= lo) for s, e in claimed):
+                continue
+            claimed.append((lo, hi))
+            planned.append((qc, region))
+
+        flags = []
+        for qc, region in planned:
+            # Weavable sites become bogus with probability bogus_ratio;
+            # a bogus bomb must carry woven code or deleting it would be
+            # free for the attacker.
+            is_bogus = region is not None and rng.random() < config.bogus_ratio
+            flags.append(not is_bogus)
+        return [(qc, region, real) for (qc, region), real in zip(planned, flags)]
+
+    @staticmethod
+    def _switch_case_isolated(method: DexMethod, qc: QualifiedCondition) -> bool:
+        """True when only the switch's matched key references the case
+        label (safe to move the case body into the payload)."""
+        switch = method.instructions[qc.branch_pc]
+        case_label = switch.value.get(qc.case_key)
+        references = 0
+        for pc, instr in enumerate(method.instructions):
+            if instr.target == case_label:
+                references += 1
+            if instr.op is Op.SWITCH:
+                references += sum(1 for lbl in instr.value.values() if lbl == case_label)
+        return references == 1
+
+    # ------------------------------------------------------------------
+    # artificial QCs
+    # ------------------------------------------------------------------
+
+    def _insert_artificial(
+        self,
+        dex: DexFile,
+        candidates: List[str],
+        instrumenter: Instrumenter,
+        entropy: FieldValueProfiler,
+        rng: random.Random,
+    ) -> List[Bomb]:
+        config = self.config
+        ranked = entropy.rank_by_entropy()
+        if not ranked:
+            return []
+        pool = [name for name in candidates if name in
+                {m.qualified_name for m in dex.iter_methods()}]
+        rng.shuffle(pool)
+        chosen = pool[: max(1, int(len(pool) * config.alpha))] if pool else []
+        bombs: List[Bomb] = []
+        top_fields = ranked[: max(3, len(ranked) // 3)]
+        for name in sorted(chosen):
+            method = dex.get_method(name)
+            pc = self._artificial_site(method, rng)
+            if pc is None:
+                continue
+            history = rng.choice(top_fields)
+            values = [
+                v for v in history.unique_values()
+                if isinstance(v, (int, str)) and not isinstance(v, bool)
+            ]
+            if not values:
+                continue
+            constant = rng.choice(values)
+            inner = (
+                build_inner_condition(rng, config.inner_probability)
+                if config.double_trigger
+                else None
+            )
+            try:
+                bombs.append(
+                    instrumenter.insert_artificial(method, pc, history.name, constant, inner)
+                )
+            except InstrumentationError:
+                continue
+        return bombs
+
+    def _artificial_site(self, method: DexMethod, rng: random.Random) -> Optional[int]:
+        """A safe insertion pc: reachable, outside loops, at an original
+        statement boundary."""
+        forbidden = instructions_in_loops(method) if self.config.avoid_loops else set()
+        instructions = method.instructions
+        options = []
+        for pc in range(len(instructions)):
+            if pc in forbidden:
+                continue
+            if pc > 0 and instructions[pc - 1].op in UNCONDITIONAL_EXITS:
+                continue  # dead position
+            # Do not split a compare/branch or const/branch pair.
+            if instructions[pc].op.value.startswith("if_"):
+                continue
+            if pc > 0 and instructions[pc - 1].op is Op.INVOKE:
+                nxt = instructions[pc]
+                if nxt.op.value.startswith("if_"):
+                    continue
+            options.append(pc)
+        if not options:
+            return None
+        return rng.choice(options)
+
+    # ------------------------------------------------------------------
+    # packaging helpers
+    # ------------------------------------------------------------------
+
+    def _embed_digest(self, dex: DexFile, resources):
+        """Hide the final classes.dex digest prefix in strings.xml."""
+        config = self.config
+        uses_digest = DetectionMethod.CODE_DIGEST in config.detection_methods
+        if not uses_digest and config.stego_key not in resources.strings:
+            # Always ship a carrier so protected apps look uniform.
+            resources.strings.setdefault(config.stego_key, _DEFAULT_COVER)
+            return resources
+        digest = bytes.fromhex(sha1_hex(serialize_dex(dex)))
+        fragment = digest[: config.stego_digest_bytes]
+        cover = resources.strings.get(config.stego_key, _DEFAULT_COVER)
+        if stego_capacity(cover) < len(fragment) * 8:
+            cover = _DEFAULT_COVER
+        resources.strings[config.stego_key] = embed_in_cover(cover, fragment)
+        return resources

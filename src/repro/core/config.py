@@ -1,0 +1,109 @@
+"""BombDroid configuration.
+
+Defaults follow the paper's implementation choices: α = 0.25 of
+candidate methods receive artificial QCs, the top 10% of methods by
+invocation count are hot and excluded, inner-trigger satisfaction
+probability is drawn from [0.1, 0.2], double-trigger bombs are on, and
+loops are avoided.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class DetectionMethod(enum.Enum):
+    """Repackaging-detection payload flavor (Section 4.1)."""
+
+    PUBLIC_KEY = "public_key"    # compare Kr (runtime) against Ko (baked in)
+    CODE_DIGEST = "code_digest"  # compare MANIFEST.MF digest against stego-hidden Do
+    CODE_SCAN = "code_scan"      # hash a protected method's instruction stream
+
+
+class ResponseKind(enum.Enum):
+    """What happens when repackaging is detected (Section 4.2)."""
+
+    CRASH = "crash"              # throw -> process death
+    ENDLESS_LOOP = "endless_loop"
+    MEMORY_LEAK = "memory_leak"
+    NULL_STATIC = "null_static"  # null out an app reference; crash later
+    WARN = "warn"                # alert the user via a dialog
+    REPORT = "report"            # notify the developer
+    SLOWDOWN = "slowdown"        # busy-wait to degrade responsiveness
+
+
+@dataclass
+class BombDroidConfig:
+    """Knobs for one protection run."""
+
+    seed: int = 0
+
+    #: Fraction of candidate methods that receive an artificial QC (α).
+    alpha: float = 0.25
+
+    #: Top fraction of methods (by invocation count) excluded as hot.
+    hot_fraction: float = 0.10
+
+    #: Number of profiling events for the hot-method/entropy pass.
+    profiling_events: int = 10_000
+
+    #: Inner-trigger satisfaction probability range [lo, hi].
+    inner_probability: Tuple[float, float] = (0.1, 0.2)
+
+    #: Insert the environment-sensitive inner trigger (double-trigger
+    #: bombs, Section 6).  Disable for the single-trigger ablation.
+    double_trigger: bool = True
+
+    #: Weave original body code into payloads where possible (Section 3.4).
+    weave: bool = True
+
+    #: Transform this fraction of remaining weavable QCs into bogus bombs.
+    bogus_ratio: float = 0.15
+
+    #: Avoid inserting bombs inside natural loops.
+    avoid_loops: bool = True
+
+    #: Skip hot methods entirely.  Disable for the overhead ablation.
+    exclude_hot_methods: bool = True
+
+    #: Cap on real bombs per method (overhead guard).
+    max_bombs_per_method: int = 4
+
+    #: Detection methods to rotate across bombs.
+    detection_methods: Tuple[DetectionMethod, ...] = (DetectionMethod.PUBLIC_KEY,)
+
+    #: Responses to rotate across bombs.
+    responses: Tuple[ResponseKind, ...] = (
+        ResponseKind.CRASH,
+        ResponseKind.WARN,
+        ResponseKind.REPORT,
+        ResponseKind.SLOWDOWN,
+    )
+
+    #: Strategic muting (the paper's Section 10 future work): once one
+    #: bomb has detected repackaging, the rest stop running detection,
+    #: so an attacker probing their repackaged build sees a single bomb
+    #: instead of mapping the whole minefield.
+    mute_after_detection: bool = False
+
+    #: strings.xml key under which the stego carrier is stored.
+    stego_key: str = "app_tagline"
+
+    #: Hidden digest fragment length in bytes (Section 4.1 notes a
+    #: partial digest suffices).
+    stego_digest_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in [0, 1)")
+        lo, hi = self.inner_probability
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError("inner_probability must satisfy 0 < lo <= hi <= 1")
+        if not self.detection_methods:
+            raise ValueError("at least one detection method is required")
+        if not self.responses:
+            raise ValueError("at least one response kind is required")

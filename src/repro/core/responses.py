@@ -1,0 +1,112 @@
+"""Response code generation (Section 4.2).
+
+Responses run inside the decrypted payload after detection fires.  Each
+emitter appends bytecode to the payload builder; every response first
+records a ``responded`` marker so the evaluation can distinguish
+detection from response.
+
+The menu matches the paper: crash the process, launch an endless loop,
+leak memory through a static reference, null out an app reference so
+the app fails later, warn the user, report to the developer, or degrade
+responsiveness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.config import ResponseKind
+from repro.dex.builder import MethodBuilder
+from repro.errors import InstrumentationError
+
+#: Static field declared on every payload class; the leak response
+#: anchors allocations here so the collector can never reclaim them.
+LEAK_FIELD = "leak"
+
+#: Iterations of the slowdown busy-loop per execution.
+SLOWDOWN_ITERATIONS = 4000
+
+#: Elements allocated per leak hit.
+LEAK_CHUNK = 65536
+
+
+def emit_response(
+    builder: MethodBuilder,
+    kind: ResponseKind,
+    bomb_id: str,
+    payload_class: str,
+    app_name: str,
+    null_target: Optional[str] = None,
+) -> None:
+    """Append response bytecode for ``kind`` to the payload builder.
+
+    ``null_target`` is the qualified app static field the NULL_STATIC
+    response clears; required for that kind only.
+    """
+    id_reg = builder.const_new(bomb_id)
+    mark_reg = builder.const_new("responded")
+    builder.invoke(None, "bomb.mark", (id_reg, mark_reg))
+
+    if kind is ResponseKind.CRASH:
+        message = builder.const_new(f"repackaging response [{bomb_id}]")
+        builder.throw(message)
+        return
+
+    if kind is ResponseKind.ENDLESS_LOOP:
+        spin = builder.fresh_label("spin")
+        builder.label(spin)
+        builder.goto(spin)
+        return
+
+    if kind is ResponseKind.MEMORY_LEAK:
+        size = builder.const_new(LEAK_CHUNK)
+        array = builder.reg()
+        builder.new_array(array, size)
+        builder.sput(array, f"{payload_class}.{LEAK_FIELD}")
+        return
+
+    if kind is ResponseKind.NULL_STATIC:
+        if null_target is None:
+            raise InstrumentationError("NULL_STATIC response needs a target field")
+        null_reg = builder.const_new(None)
+        builder.sput(null_reg, null_target)
+        return
+
+    if kind is ResponseKind.WARN:
+        message = builder.const_new(
+            f"Warning: this copy of {app_name} appears to be repackaged. "
+            "Please uninstall it and download the official version."
+        )
+        builder.invoke(None, "android.ui.alert", (message,))
+        return
+
+    if kind is ResponseKind.REPORT:
+        message = builder.const_new(f"repackaged:{app_name}:{bomb_id}:key=")
+        key_reg = builder.reg()
+        builder.invoke(key_reg, "android.pm.get_public_key", ())
+        full = builder.reg()
+        builder.invoke(full, "java.str.concat", (message, key_reg))
+        builder.invoke(None, "android.net.report", (full,))
+        return
+
+    if kind is ResponseKind.SLOWDOWN:
+        counter = builder.const_new(0)
+        limit = builder.const_new(SLOWDOWN_ITERATIONS)
+        top = builder.fresh_label("slow")
+        done = builder.fresh_label("slow_done")
+        builder.label(top)
+        builder.if_ge(counter, limit, done)
+        builder.add_lit(counter, counter, 1)
+        builder.goto(top)
+        builder.label(done)
+        return
+
+    raise InstrumentationError(f"unhandled response kind {kind!r}")
+
+
+def choose_null_target(app_static_fields: Sequence[str], rng: random.Random) -> Optional[str]:
+    """Pick an app static field for the NULL_STATIC response."""
+    if not app_static_fields:
+        return None
+    return rng.choice(sorted(app_static_fields))

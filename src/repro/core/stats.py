@@ -1,0 +1,104 @@
+"""Bomb metadata and the instrumentation report.
+
+Everything the evaluation harness needs to know about what was injected
+where -- Table 2 (bomb counts by origin), Figure 4 (strength
+distributions), and the ground truth for resilience experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.qualified_conditions import Strength
+from repro.core.config import DetectionMethod, ResponseKind
+
+
+class BombOrigin(enum.Enum):
+    """Where the bomb's outer condition came from."""
+
+    EXISTING = "existing"      # an existing qualified condition
+    ARTIFICIAL = "artificial"  # an inserted artificial QC
+    BOGUS = "bogus"            # looks like a bomb, carries no detection
+
+
+@dataclass
+class Bomb:
+    """Ground-truth record of one injected bomb."""
+
+    bomb_id: str
+    method: str                      # qualified method name
+    origin: BombOrigin
+    strength: Strength
+    const_value: object              # the (removed) trigger constant c
+    salt_hex: str
+    hc_hex: str                      # stored comparison digest
+    payload_class: str
+    woven: bool                      # original code woven into payload
+    detection: Optional[DetectionMethod]   # None for bogus bombs
+    response: Optional[ResponseKind]
+    inner_description: str = ""      # human-readable inner condition
+    inner_probability: float = 1.0   # P(inner met on a random device)
+
+    @property
+    def is_real(self) -> bool:
+        return self.origin is not BombOrigin.BOGUS
+
+
+@dataclass
+class InstrumentationReport:
+    """Summary of one protection run."""
+
+    app_name: str
+    bombs: List[Bomb] = field(default_factory=list)
+    hot_methods: List[str] = field(default_factory=list)
+    candidate_methods: List[str] = field(default_factory=list)
+    existing_qcs_found: int = 0
+    size_before: int = 0             # APK bytes before protection
+    size_after: int = 0
+    instructions_before: int = 0
+    instructions_after: int = 0
+
+    # -- Table 2 style accessors ---------------------------------------------
+
+    def real_bombs(self) -> List[Bomb]:
+        return [bomb for bomb in self.bombs if bomb.is_real]
+
+    def count_by_origin(self, origin: BombOrigin) -> int:
+        return sum(1 for bomb in self.bombs if bomb.origin is origin)
+
+    @property
+    def total_injected(self) -> int:
+        return len(self.real_bombs())
+
+    def strength_histogram(self, origin: BombOrigin = None) -> Dict[Strength, int]:
+        histogram = {strength: 0 for strength in Strength}
+        for bomb in self.real_bombs():
+            if origin is None or bomb.origin is origin:
+                histogram[bomb.strength] += 1
+        return histogram
+
+    @property
+    def size_increase(self) -> float:
+        """Fractional APK size growth (paper: 8-13%, avg 9.7%)."""
+        if self.size_before == 0:
+            return 0.0
+        return (self.size_after - self.size_before) / self.size_before
+
+    def bomb_by_id(self, bomb_id: str) -> Bomb:
+        for bomb in self.bombs:
+            if bomb.bomb_id == bomb_id:
+                return bomb
+        raise KeyError(bomb_id)
+
+    def summary(self) -> str:
+        real = self.real_bombs()
+        existing = self.count_by_origin(BombOrigin.EXISTING)
+        artificial = self.count_by_origin(BombOrigin.ARTIFICIAL)
+        bogus = self.count_by_origin(BombOrigin.BOGUS)
+        return (
+            f"{self.app_name}: {len(real)} bombs "
+            f"({existing} existing QC, {artificial} artificial QC, {bogus} bogus), "
+            f"size +{self.size_increase:.1%}"
+        )

@@ -1,0 +1,33 @@
+"""Synthetic app corpus.
+
+Stands in for the 963 F-Droid apps: eight category profiles with the
+static characteristics of Table 1, a generator that produces runnable
+apps matching a profile, and the eight named apps (AndroFish, Angulo,
+SWJournal, Calendar, BRouter, Binaural Beat, Hash Droid, CatLog) used
+throughout the paper's per-app tables.
+"""
+
+from repro.corpus.categories import (
+    CategoryProfile,
+    CATEGORY_PROFILES,
+    CATEGORY_BY_NAME,
+    NamedAppSpec,
+    NAMED_APPS,
+    NAMED_APP_BY_NAME,
+    TOTAL_APPS,
+)
+from repro.corpus.generator import AppBundle, build_app, build_named_app, generate_corpus
+
+__all__ = [
+    "CategoryProfile",
+    "CATEGORY_PROFILES",
+    "CATEGORY_BY_NAME",
+    "NAMED_APP_BY_NAME",
+    "TOTAL_APPS",
+    "NamedAppSpec",
+    "NAMED_APPS",
+    "AppBundle",
+    "build_app",
+    "build_named_app",
+    "generate_corpus",
+]

@@ -1,0 +1,81 @@
+"""Category profiles and named-app specifications.
+
+Numbers mirror Table 1 of the paper: per-category app counts, average
+lines of code, candidate-method counts, existing qualified conditions,
+and environment-variable uses.  Our size unit is *instructions*, which
+tracks Java LOC closely enough for the structural statistics to carry
+over (one bytecode instruction per simple statement, a handful per
+compound one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Average structural characteristics of one app category."""
+
+    name: str
+    app_count: int            # apps in this category (Table 1)
+    avg_loc: int              # average lines of Java code
+    avg_candidate_methods: int
+    avg_existing_qcs: int
+    avg_env_vars: int
+
+    @property
+    def avg_methods(self) -> int:
+        """Total methods; candidates are the non-hot 90%."""
+        return max(1, round(self.avg_candidate_methods / 0.9))
+
+
+#: Table 1, row by row.
+CATEGORY_PROFILES: Tuple[CategoryProfile, ...] = (
+    CategoryProfile("Game", 105, 3_043, 95, 56, 16),
+    CategoryProfile("Science&Edu", 98, 4_046, 86, 44, 8),
+    CategoryProfile("Sport&Health", 87, 5_467, 113, 40, 11),
+    CategoryProfile("Writing", 149, 7_099, 149, 67, 6),
+    CategoryProfile("Navigation", 121, 9_374, 185, 52, 9),
+    CategoryProfile("Multimedia", 108, 10_032, 203, 72, 17),
+    CategoryProfile("Security", 152, 11_073, 242, 86, 12),
+    CategoryProfile("Development", 143, 14_376, 373, 93, 11),
+)
+
+CATEGORY_BY_NAME: Dict[str, CategoryProfile] = {p.name: p for p in CATEGORY_PROFILES}
+
+#: Total apps across categories -- the paper evaluates 963.
+TOTAL_APPS = sum(p.app_count for p in CATEGORY_PROFILES)
+
+
+@dataclass(frozen=True)
+class NamedAppSpec:
+    """One of the eight apps used in Tables 2-5 and Figures 3-5.
+
+    Sizes are chosen so the injected-bomb counts land in the same
+    ordering as the paper's Table 2 (BRouter largest, Angulo smallest).
+    """
+
+    name: str
+    category: str
+    seed: int
+    methods: int
+    instructions: int
+    existing_qcs: int
+    env_vars: int
+    paper_bombs: int          # Table 2 reference value
+
+
+NAMED_APPS: Tuple[NamedAppSpec, ...] = (
+    NamedAppSpec("AndroFish", "Game", 101, 34, 1_100, 48, 16, 67),
+    NamedAppSpec("Angulo", "Science&Edu", 102, 26, 900, 33, 8, 43),
+    NamedAppSpec("SWJournal", "Writing", 103, 30, 1_000, 40, 6, 58),
+    NamedAppSpec("Calendar", "Writing", 104, 46, 1_600, 78, 7, 104),
+    NamedAppSpec("BRouter", "Navigation", 105, 90, 3_400, 190, 9, 263),
+    NamedAppSpec("Binaural Beat", "Multimedia", 106, 38, 1_300, 60, 17, 82),
+    NamedAppSpec("Hash Droid", "Security", 107, 32, 1_100, 47, 12, 65),
+    NamedAppSpec("CatLog", "Development", 108, 36, 1_200, 53, 11, 73),
+)
+
+NAMED_APP_BY_NAME: Dict[str, NamedAppSpec] = {spec.name: spec for spec in NAMED_APPS}

@@ -1,0 +1,50 @@
+"""Cryptographic primitives used by BombDroid bombs and APK signing.
+
+The paper uses "SHA-128" (SHA-1) for trigger-condition obfuscation and
+AES-128 for payload encryption, plus RSA for app signing.  Everything
+here is implemented from scratch in pure Python:
+
+* the bomb path must be *modelable* by the symbolic executor in
+  :mod:`repro.attacks.symbolic` (hash calls become uninterpreted
+  functions, which is what defeats constraint solving), and
+* the reproduction should not silently depend on platform OpenSSL
+  behaviour.
+
+Public API
+----------
+
+``sha1(data) -> bytes``
+    20-byte SHA-1 digest.
+
+``AES128(key)``
+    Block cipher object with ``encrypt_block``/``decrypt_block`` and
+    CBC/CTR helpers ``encrypt_cbc``/``decrypt_cbc``.
+
+``derive_key(constant, salt) -> bytes``
+    The paper's ``key = Hash(c | S)`` KDF producing a 128-bit AES key.
+
+``RSAKeyPair.generate(bits)``
+    App-signing key pair with ``sign``/``verify``.
+"""
+
+from repro.crypto.sha1 import sha1, sha1_hex, Sha1
+from repro.crypto.aes import AES128, pkcs7_pad, pkcs7_unpad
+from repro.crypto.kdf import derive_key, hash_constant, encode_value, Salt
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_prime, is_probable_prime
+
+__all__ = [
+    "sha1",
+    "sha1_hex",
+    "Sha1",
+    "AES128",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "derive_key",
+    "hash_constant",
+    "encode_value",
+    "Salt",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "generate_prime",
+    "is_probable_prime",
+]

@@ -1,0 +1,261 @@
+"""Pure-Python AES-128 (FIPS 197) with CBC and CTR modes.
+
+BombDroid encrypts bomb payloads with AES-128 under a key derived from
+the trigger constant (:mod:`repro.crypto.kdf`).  Decrypting with the
+wrong key yields garbage that fails PKCS#7 unpadding with overwhelming
+probability, which is exactly the behaviour forced-execution attacks
+observe when they skip the trigger check.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BadPaddingError, CryptoError
+
+# --------------------------------------------------------------------------
+# Tables.  The S-box is generated from the AES definition (multiplicative
+# inverse in GF(2^8) followed by the affine transform) rather than pasted,
+# so a typo cannot silently corrupt it.
+# --------------------------------------------------------------------------
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple:
+    # Multiplicative inverses via exponentiation: a^254 == a^-1 in GF(2^8).
+    def inverse(a: int) -> int:
+        if a == 0:
+            return 0
+        result = 1
+        exponent = 254
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = _gf_mul(result, base)
+            base = _gf_mul(base, base)
+            exponent >>= 1
+        return result
+
+    sbox = []
+    for value in range(256):
+        inv = inverse(value)
+        # Affine transform: b ^= rotl(b,1)^rotl(b,2)^rotl(b,3)^rotl(b,4)^0x63
+        b = inv
+        result = 0x63
+        for shift in range(5):
+            result ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox.append(result & 0xFF)
+    return tuple(sbox)
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = tuple(_SBOX.index(i) for i in range(256))
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+# MixColumns multiplies by fixed coefficients; 256-entry lookup tables
+# keep the hot loop out of bit-twiddling (payload encryption runs once
+# per bomb, payload decryption once per triggered bomb per process).
+_MUL = {
+    factor: tuple(_gf_mul(value, factor) for value in range(256))
+    for factor in (2, 3, 9, 11, 13, 14)
+}
+
+
+class AES128:
+    """AES with a 128-bit key; 10 rounds, 16-byte blocks."""
+
+    block_size = 16
+    key_size = 16
+    rounds = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise CryptoError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule ------------------------------------------------------
+
+    @classmethod
+    def _expand_key(cls, key: bytes) -> list:
+        """Expand the cipher key into 11 round keys of 16 bytes each."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (cls.rounds + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        round_keys = []
+        for r in range(cls.rounds + 1):
+            flat = []
+            for w in words[4 * r : 4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    # -- block primitives ----------------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: list, round_key: list) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: list, box: tuple) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list) -> list:
+        # State is column-major: byte (row r, col c) lives at 4*c + r.
+        out = [0] * 16
+        for c in range(4):
+            for r in range(4):
+                out[4 * c + r] = state[4 * ((c + r) % 4) + r]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: list) -> list:
+        out = [0] * 16
+        for c in range(4):
+            for r in range(4):
+                out[4 * ((c + r) % 4) + r] = state[4 * c + r]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: list) -> list:
+        mul2, mul3 = _MUL[2], _MUL[3]
+        out = [0] * 16
+        for c in range(0, 16, 4):
+            a, b, d, e = state[c], state[c + 1], state[c + 2], state[c + 3]
+            out[c] = mul2[a] ^ mul3[b] ^ d ^ e
+            out[c + 1] = a ^ mul2[b] ^ mul3[d] ^ e
+            out[c + 2] = a ^ b ^ mul2[d] ^ mul3[e]
+            out[c + 3] = mul3[a] ^ b ^ d ^ mul2[e]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: list) -> list:
+        mul9, mul11, mul13, mul14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+        out = [0] * 16
+        for c in range(0, 16, 4):
+            a, b, d, e = state[c], state[c + 1], state[c + 2], state[c + 3]
+            out[c] = mul14[a] ^ mul11[b] ^ mul13[d] ^ mul9[e]
+            out[c + 1] = mul9[a] ^ mul14[b] ^ mul11[d] ^ mul13[e]
+            out[c + 2] = mul13[a] ^ mul9[b] ^ mul14[d] ^ mul11[e]
+            out[c + 3] = mul11[a] ^ mul13[b] ^ mul9[d] ^ mul14[e]
+        return out
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            self._sub_bytes(state, _SBOX)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state, _SBOX)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise CryptoError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[r])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    # -- modes ----------------------------------------------------------------
+
+    def encrypt_cbc(self, plaintext: bytes, iv: bytes) -> bytes:
+        """CBC-encrypt with PKCS#7 padding; returns ciphertext (no IV prefix)."""
+        if len(iv) != 16:
+            raise CryptoError("IV must be 16 bytes")
+        data = pkcs7_pad(plaintext, 16)
+        previous = iv
+        out = bytearray()
+        for start in range(0, len(data), 16):
+            block = bytes(a ^ b for a, b in zip(data[start : start + 16], previous))
+            previous = self.encrypt_block(block)
+            out.extend(previous)
+        return bytes(out)
+
+    def decrypt_cbc(self, ciphertext: bytes, iv: bytes) -> bytes:
+        """CBC-decrypt and strip PKCS#7 padding.
+
+        Raises :class:`BadPaddingError` when the key was wrong -- this is
+        the observable failure of forced-execution attacks on bombs.
+        """
+        if len(iv) != 16:
+            raise CryptoError("IV must be 16 bytes")
+        if len(ciphertext) % 16 != 0 or not ciphertext:
+            raise CryptoError("ciphertext length must be a positive multiple of 16")
+        previous = iv
+        out = bytearray()
+        for start in range(0, len(ciphertext), 16):
+            block = ciphertext[start : start + 16]
+            plain = self.decrypt_block(block)
+            out.extend(a ^ b for a, b in zip(plain, previous))
+            previous = block
+        return pkcs7_unpad(bytes(out), 16)
+
+    def encrypt_ctr(self, data: bytes, nonce: bytes) -> bytes:
+        """CTR mode keystream XOR (encryption == decryption)."""
+        if len(nonce) != 8:
+            raise CryptoError("CTR nonce must be 8 bytes")
+        out = bytearray()
+        counter = 0
+        for start in range(0, len(data), 16):
+            keystream = self.encrypt_block(nonce + counter.to_bytes(8, "big"))
+            chunk = data[start : start + 16]
+            out.extend(a ^ b for a, b in zip(chunk, keystream))
+            counter += 1
+        return bytes(out)
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Append PKCS#7 padding so ``len(result)`` is a multiple of block_size."""
+    if not 1 <= block_size <= 255:
+        raise CryptoError("block size out of range")
+    pad = block_size - (len(data) % block_size)
+    return data + bytes([pad] * pad)
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size != 0:
+        raise BadPaddingError("data length is not a padded multiple of the block size")
+    pad = data[-1]
+    if pad < 1 or pad > block_size:
+        raise BadPaddingError(f"invalid padding byte {pad:#x}")
+    if data[-pad:] != bytes([pad] * pad):
+        raise BadPaddingError("padding bytes are inconsistent")
+    return data[:-pad]

@@ -1,0 +1,65 @@
+"""Key derivation and trigger-constant hashing.
+
+Section 7.4 of the paper: ``key = Hash(c | S)`` where ``c`` is the
+trigger constant (of any type/size) and ``S`` a per-bomb salt, producing
+a uniform 128-bit AES key.  The same construction, without truncation,
+yields the stored comparison digest ``Hc = Hash(c | S)`` used in the
+obfuscated condition ``Hash(X | S) == Hc``.
+
+Salting defeats rainbow-table attacks (Section 5.1): the same constant
+in two bombs hashes to unrelated digests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.crypto.sha1 import sha1
+
+
+@dataclass(frozen=True)
+class Salt:
+    """A per-bomb salt mixed into every hash computation."""
+
+    value: bytes = field(default_factory=lambda: os.urandom(12))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, bytes):
+            raise TypeError("salt must be bytes")
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "Salt":
+        """Deterministic salt for reproducible experiments."""
+        return cls(sha1(seed.to_bytes(8, "big", signed=True))[:12])
+
+
+def encode_value(value) -> bytes:
+    """Canonical byte encoding of a trigger operand.
+
+    The encoding is *type-tagged* so that e.g. int ``1`` and string
+    ``"1"`` hash differently -- the instrumented check must be exactly
+    as discriminating as the original ``==``.  Booleans encode as ints
+    (``True`` as 1) because the VM's equality treats them
+    interchangeably, and ``Hash(X|S) == Hash(c|S)`` must hold exactly
+    when ``X == c`` held.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return b"I" + value.to_bytes(9, "big", signed=True)
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"R" + value
+    raise TypeError(f"cannot encode trigger operand of type {type(value).__name__}")
+
+
+def hash_constant(value, salt: Salt) -> bytes:
+    """``Hc = Hash(c | S)`` -- the digest stored in the obfuscated condition."""
+    return sha1(encode_value(value) + salt.value)
+
+
+def derive_key(value, salt: Salt) -> bytes:
+    """``key = Hash(c | S)`` truncated to 128 bits for AES-128."""
+    return hash_constant(value, salt)[:16]

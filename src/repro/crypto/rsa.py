@@ -1,0 +1,157 @@
+"""Textbook RSA signing for the APK model.
+
+Android app signing only matters here through key *identity*: a
+repackaged app is re-signed with a different key pair, so the public key
+embedded in CERT.RSA changes and public-key comparison detects it.  We
+implement real (small) RSA rather than a stub so signature verification
+genuinely fails on tampered content, which the repackager and the
+attack suite exercise.
+
+Keys default to 512 bits -- fast to generate in pure Python, and the
+security of the reproduction does not rest on factoring hardness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.sha1 import sha1
+from repro.errors import CryptoError
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+)
+
+
+def is_probable_prime(n: int, rounds: int = 24, rng: random.Random = None) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise CryptoError("prime size too small")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def _modinv(a: int, m: int) -> int:
+    """Modular inverse via extended Euclid."""
+    g, x = _egcd(a % m, m)
+    if g != 1:
+        raise CryptoError("modular inverse does not exist")
+    return x % m
+
+
+def _egcd(a: int, b: int) -> tuple:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+    return old_r, old_s
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key -- the identity compared by repackaging detection."""
+
+    n: int
+    e: int
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Check ``signature^e mod n`` against the padded message digest."""
+        if not 0 < signature < self.n:
+            return False
+        return pow(signature, self.e, self.n) == _encode_digest(message, self.n)
+
+    def fingerprint(self) -> bytes:
+        """Stable 20-byte identifier of this key (what detection compares)."""
+        blob = self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")
+        return sha1(blob + self.e.to_bytes(4, "big"))
+
+    def to_bytes(self) -> bytes:
+        n_bytes = self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")
+        return len(n_bytes).to_bytes(2, "big") + n_bytes + self.e.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RSAPublicKey":
+        if len(blob) < 6:
+            raise CryptoError("truncated public key blob")
+        n_len = int.from_bytes(blob[:2], "big")
+        if len(blob) != 2 + n_len + 4:
+            raise CryptoError("malformed public key blob")
+        n = int.from_bytes(blob[2 : 2 + n_len], "big")
+        e = int.from_bytes(blob[2 + n_len :], "big")
+        return cls(n=n, e=e)
+
+
+def _encode_digest(message: bytes, n: int) -> int:
+    """Deterministic full-domain-style encoding of sha1(message) below n."""
+    digest = sha1(message)
+    # Expand the digest with counter blocks until it covers the modulus size,
+    # then reduce mod n; deterministic so sign and verify agree.
+    size = (n.bit_length() + 7) // 8
+    stream = b""
+    counter = 0
+    while len(stream) < size:
+        stream += sha1(digest + counter.to_bytes(4, "big"))
+        counter += 1
+    return int.from_bytes(stream[:size], "big") % n
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """Developer (or attacker) signing key pair."""
+
+    public: RSAPublicKey
+    d: int
+
+    @classmethod
+    def generate(cls, bits: int = 512, seed: int = None) -> "RSAKeyPair":
+        """Generate a fresh key pair; pass ``seed`` for reproducibility."""
+        rng = random.Random(seed)
+        e = 65537
+        while True:
+            p = generate_prime(bits // 2, rng)
+            q = generate_prime(bits // 2, rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if phi % e == 0:
+                continue
+            n = p * q
+            d = _modinv(e, phi)
+            return cls(public=RSAPublicKey(n=n, e=e), d=d)
+
+    def sign(self, message: bytes) -> int:
+        """Sign sha1(message) -- used over the APK content digest."""
+        return pow(_encode_digest(message, self.public.n), self.d, self.public.n)

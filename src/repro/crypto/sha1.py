@@ -1,0 +1,139 @@
+"""Pure-Python SHA-1.
+
+The paper calls its hash "SHA-128"; SHA-1 (160-bit) is the function that
+existed under that informal name and matches the 40-hex-digit example
+digest shown in Section 3.2 (``da4b9237...``, which is ``sha1(b"2")``).
+
+The implementation is the straightforward FIPS 180-1 algorithm.  It is
+intentionally self-contained (no ``hashlib``) so the symbolic executor
+can mark calls into this module as uninterpreted functions and so tests
+can cross-check against ``hashlib`` as an independent oracle.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_MASK = 0xFFFFFFFF
+
+
+def _rol(value: int, count: int) -> int:
+    """Rotate a 32-bit integer left by ``count`` bits."""
+    return ((value << count) | (value >> (32 - count))) & _MASK
+
+
+class Sha1:
+    """Incremental SHA-1 with the familiar ``update``/``digest`` API."""
+
+    block_size = 64
+    digest_size = 20
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._h = list(_H0)
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Sha1":
+        """Absorb ``data``; returns self for chaining."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes, got {type(data).__name__}")
+        self._length += len(data)
+        self._buffer += bytes(data)
+        while len(self._buffer) >= 64:
+            self._process_block(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+        return self
+
+    def digest(self) -> bytes:
+        """Return the 20-byte digest without disturbing internal state."""
+        # Work on copies so callers may keep updating afterwards.
+        h = list(self._h)
+        buffer = self._buffer
+        bit_length = self._length * 8
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = buffer + padding + struct.pack(">Q", bit_length)
+        for start in range(0, len(tail), 64):
+            h = self._compress(h, tail[start : start + 64])
+        return struct.pack(">5I", *h)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "Sha1":
+        clone = Sha1()
+        clone._h = list(self._h)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def _process_block(self, block: bytes) -> None:
+        self._h = self._compress(self._h, block)
+
+    @staticmethod
+    def _compress(h: Iterable[int], block: bytes) -> list:
+        """One 512-bit compression round (FIPS 180-1 section 7)."""
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 80):
+            w.append(_rol(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+
+        a, b, c, d, e = h
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            a, b, c, d, e = (
+                (_rol(a, 5) + f + e + k + w[i]) & _MASK,
+                a,
+                _rol(b, 30),
+                c,
+                d,
+            )
+
+        h0, h1, h2, h3, h4 = h
+        return [
+            (h0 + a) & _MASK,
+            (h1 + b) & _MASK,
+            (h2 + c) & _MASK,
+            (h3 + d) & _MASK,
+            (h4 + e) & _MASK,
+        ]
+
+
+# The one-shot helpers delegate to hashlib: manifest digests cover
+# megabytes of asset bytes and the pure-Python compression function is
+# ~3 orders of magnitude slower.  The pure implementation above is the
+# reference (the test suite asserts both agree on random inputs) and
+# the incremental/copy API some callers need.
+try:  # pragma: no cover - import guard
+    import hashlib as _hashlib
+
+    def sha1(data: bytes) -> bytes:
+        """One-shot SHA-1 digest of ``data``."""
+        return _hashlib.sha1(bytes(data)).digest()
+
+    def sha1_hex(data: bytes) -> str:
+        """One-shot SHA-1 digest of ``data`` as a hex string."""
+        return _hashlib.sha1(bytes(data)).hexdigest()
+
+except ImportError:  # pragma: no cover - hashlib is stdlib
+
+    def sha1(data: bytes) -> bytes:
+        """One-shot SHA-1 digest of ``data``."""
+        return Sha1(data).digest()
+
+    def sha1_hex(data: bytes) -> str:
+        """One-shot SHA-1 digest of ``data`` as a hex string."""
+        return Sha1(data).hexdigest()

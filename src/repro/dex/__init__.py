@@ -1,0 +1,51 @@
+"""A register-based bytecode substrate standing in for Dalvik.
+
+The BombDroid transformation rewrites *branches on constants*; what it
+needs from the bytecode layer is:
+
+* register-machine instructions with Dalvik's branch shapes
+  (``IF_EQ``/``IF_NE``/``IF_EQZ``/``SWITCH``), constant loads, field and
+  array access, and method invocation;
+* a class/method/field container format that can be serialized to a
+  binary blob (our ``classes.dex``) for hashing, signing, encryption and
+  dynamic loading; and
+* an instrumentation-friendly representation -- branch targets are
+  symbolic labels, so code can be spliced without relocating offsets.
+
+Layout:
+
+``opcodes``       the instruction set
+``instructions``  the :class:`Instr` record and factory helpers
+``model``         :class:`DexField` / :class:`DexMethod` / :class:`DexClass`
+                  / :class:`DexFile`
+``builder``       fluent :class:`MethodBuilder` used by templates and the
+                  instrumenter
+``assembler``     text assembly (``.class`` / ``.method`` / ``@label:``)
+``disassembler``  inverse of the assembler, used by attacks that read code
+``serializer``    binary blob <-> :class:`DexFile`
+"""
+
+from repro.dex.opcodes import Op
+from repro.dex.instructions import Instr, Label
+from repro.dex.model import DexField, DexMethod, DexClass, DexFile
+from repro.dex.builder import MethodBuilder
+from repro.dex.assembler import assemble, assemble_method
+from repro.dex.disassembler import disassemble, disassemble_method
+from repro.dex.serializer import serialize_dex, deserialize_dex
+
+__all__ = [
+    "Op",
+    "Instr",
+    "Label",
+    "DexField",
+    "DexMethod",
+    "DexClass",
+    "DexFile",
+    "MethodBuilder",
+    "assemble",
+    "assemble_method",
+    "disassemble",
+    "disassemble_method",
+    "serialize_dex",
+    "deserialize_dex",
+]

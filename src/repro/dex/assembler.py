@@ -1,0 +1,376 @@
+"""Text assembler for the repro ISA.
+
+The assembly dialect (used by app templates, tests and the examples)::
+
+    .class AndroFish
+    .field score static 0
+    .field width 24
+    .method on_touch 2
+        const r2, 5
+        if_eq r0, r2, @hit
+        return_void
+    @hit:
+        sget r3, AndroFish.score
+        add_lit r3, r3, 10
+        sput r3, AndroFish.score
+        return_void
+    .end
+
+Literals: integers (decimal or ``0x`` hex), ``true``/``false``,
+``null``, double-quoted strings with ``\\"``/``\\\\``/``\\n`` escapes, and
+byte strings as ``hex:DEADBEEF``.  Branch targets are written ``@name``
+and declared as ``@name:`` on their own line.  Switch tables use
+``switch r0, {1 -> @a, 2 -> @b}``.  ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.dex import instructions as ins
+from repro.dex.instructions import Instr
+from repro.dex.model import DexClass, DexField, DexFile, DexMethod
+from repro.dex.opcodes import BINOPS, LIT_BINOPS, Op, from_mnemonic
+from repro.errors import DexError
+
+_REGISTER = re.compile(r"^r(\d+)$")
+_LABEL_DEF = re.compile(r"^@([\w$]+):$")
+_STRING = re.compile(r'^"(?:[^"\\]|\\.)*"$')
+
+
+class _AsmError(DexError):
+    """Assembly error with line information attached by the driver."""
+
+
+def _parse_register(token: str) -> int:
+    match = _REGISTER.match(token)
+    if not match:
+        raise _AsmError(f"expected register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_label_ref(token: str) -> str:
+    if not token.startswith("@") or len(token) < 2:
+        raise _AsmError(f"expected @label, got {token!r}")
+    return token[1:]
+
+
+def _unescape(body: str) -> str:
+    out = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if ch == "\\":
+            index += 1
+            if index >= len(body):
+                raise _AsmError("dangling escape in string literal")
+            escape = body[index]
+            out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+        else:
+            out.append(ch)
+        index += 1
+    return "".join(out)
+
+
+def parse_literal(token: str):
+    """Parse an assembly literal into its Python value."""
+    if token == "null":
+        return None
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token.startswith("hex:"):
+        try:
+            return bytes.fromhex(token[4:])
+        except ValueError:
+            raise _AsmError(f"bad hex literal {token!r}") from None
+    if _STRING.match(token):
+        return _unescape(token[1:-1])
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise _AsmError(f"cannot parse literal {token!r}") from None
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside quotes or braces."""
+    parts: List[str] = []
+    depth = 0
+    in_string = False
+    current = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if in_string:
+            current.append(ch)
+            if ch == "\\":
+                index += 1
+                if index < len(text):
+                    current.append(text[index])
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+            current.append(ch)
+        elif ch == "{":
+            depth += 1
+            current.append(ch)
+        elif ch == "}":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        index += 1
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_switch_table(token: str) -> dict:
+    if not (token.startswith("{") and token.endswith("}")):
+        raise _AsmError(f"switch table must be {{...}}, got {token!r}")
+    table = {}
+    body = token[1:-1].strip()
+    if not body:
+        raise _AsmError("empty switch table")
+    for entry in _split_operands(body):
+        if "->" not in entry:
+            raise _AsmError(f"switch entry {entry!r} missing '->'")
+        key_text, _, target_text = entry.partition("->")
+        key = parse_literal(key_text.strip())
+        if isinstance(key, bool) or not isinstance(key, (int, str)):
+            raise _AsmError(f"switch key {key!r} must be int or str")
+        table[key] = _parse_label_ref(target_text.strip())
+    return table
+
+
+def parse_instruction(line: str) -> Instr:
+    """Parse one instruction line (no label definitions, no directives)."""
+    mnemonic, _, rest = line.partition(" ")
+    try:
+        op = from_mnemonic(mnemonic)
+    except KeyError:
+        raise _AsmError(f"unknown mnemonic {mnemonic!r}") from None
+    operands = _split_operands(rest) if rest.strip() else []
+
+    if op is Op.NOP:
+        _expect(operands, 0, op)
+        return Instr(Op.NOP)
+    if op is Op.CONST:
+        _expect(operands, 2, op)
+        return ins.const(_parse_register(operands[0]), parse_literal(operands[1]))
+    if op is Op.MOVE:
+        _expect(operands, 2, op)
+        return ins.move(_parse_register(operands[0]), _parse_register(operands[1]))
+    if op in BINOPS:
+        _expect(operands, 3, op)
+        return ins.binop(
+            op,
+            _parse_register(operands[0]),
+            _parse_register(operands[1]),
+            _parse_register(operands[2]),
+        )
+    if op in LIT_BINOPS:
+        _expect(operands, 3, op)
+        literal = parse_literal(operands[2])
+        if isinstance(literal, bool) or not isinstance(literal, int):
+            raise _AsmError(f"{op.value}: literal operand must be an int")
+        return ins.binop_lit(op, _parse_register(operands[0]), _parse_register(operands[1]), literal)
+    if op in (Op.NEG, Op.NOT):
+        _expect(operands, 2, op)
+        return Instr(op, dst=_parse_register(operands[0]), a=_parse_register(operands[1]))
+    if op is Op.GOTO:
+        _expect(operands, 1, op)
+        return ins.goto(_parse_label_ref(operands[0]))
+    if op in (Op.IF_EQ, Op.IF_NE, Op.IF_LT, Op.IF_GE, Op.IF_GT, Op.IF_LE):
+        _expect(operands, 3, op)
+        return Instr(
+            op,
+            a=_parse_register(operands[0]),
+            b=_parse_register(operands[1]),
+            target=_parse_label_ref(operands[2]),
+        )
+    if op in (Op.IF_EQZ, Op.IF_NEZ, Op.IF_LTZ, Op.IF_GEZ):
+        _expect(operands, 2, op)
+        return Instr(op, a=_parse_register(operands[0]), target=_parse_label_ref(operands[1]))
+    if op is Op.SWITCH:
+        _expect(operands, 2, op)
+        return ins.switch(_parse_register(operands[0]), _parse_switch_table(operands[1]))
+    if op is Op.RETURN:
+        _expect(operands, 1, op)
+        return ins.ret(_parse_register(operands[0]))
+    if op is Op.RETURN_VOID:
+        _expect(operands, 0, op)
+        return ins.ret_void()
+    if op is Op.THROW:
+        _expect(operands, 1, op)
+        return ins.throw(_parse_register(operands[0]))
+    if op is Op.NEW_INSTANCE:
+        _expect(operands, 2, op)
+        return ins.new_instance(_parse_register(operands[0]), operands[1])
+    if op is Op.IGET:
+        _expect(operands, 3, op)
+        return ins.iget(_parse_register(operands[0]), _parse_register(operands[1]), operands[2])
+    if op is Op.IPUT:
+        _expect(operands, 3, op)
+        return ins.iput(_parse_register(operands[0]), _parse_register(operands[1]), operands[2])
+    if op is Op.SGET:
+        _expect(operands, 2, op)
+        return ins.sget(_parse_register(operands[0]), operands[1])
+    if op is Op.SPUT:
+        _expect(operands, 2, op)
+        return ins.sput(_parse_register(operands[0]), operands[1])
+    if op is Op.NEW_ARRAY:
+        _expect(operands, 2, op)
+        return ins.new_array(_parse_register(operands[0]), _parse_register(operands[1]))
+    if op is Op.AGET:
+        _expect(operands, 3, op)
+        return ins.aget(
+            _parse_register(operands[0]), _parse_register(operands[1]), _parse_register(operands[2])
+        )
+    if op is Op.APUT:
+        _expect(operands, 3, op)
+        return ins.aput(
+            _parse_register(operands[0]), _parse_register(operands[1]), _parse_register(operands[2])
+        )
+    if op is Op.ARRAY_LEN:
+        _expect(operands, 2, op)
+        return ins.array_len(_parse_register(operands[0]), _parse_register(operands[1]))
+    if op is Op.INVOKE:
+        if len(operands) < 2:
+            raise _AsmError("invoke needs a destination ('_' for void) and a target")
+        dst = None if operands[0] == "_" else _parse_register(operands[0])
+        args = tuple(_parse_register(tok) for tok in operands[2:])
+        return ins.invoke(dst, operands[1], args)
+    raise _AsmError(f"unhandled opcode {op.value!r}")
+
+
+def _expect(operands: List[str], count: int, op: Op) -> None:
+    if len(operands) != count:
+        raise _AsmError(f"{op.value} expects {count} operands, got {len(operands)}")
+
+
+def _strip(line: str) -> str:
+    """Remove comments (``#`` outside string literals) and whitespace."""
+    in_string = False
+    for index, ch in enumerate(line):
+        if ch == '"' and (index == 0 or line[index - 1] != "\\"):
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            return line[:index].strip()
+    return line.strip()
+
+
+def assemble_method(
+    source: str,
+    class_name: str = "Main",
+    name: str = "main",
+    params: int = 0,
+    line_offset: int = 0,
+) -> DexMethod:
+    """Assemble a bare instruction listing into a single method.
+
+    ``line_offset`` shifts reported line numbers so errors inside a
+    ``.method`` block point at the enclosing file's lines.
+    """
+    instructions: List[Instr] = []
+    max_register = params - 1
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        try:
+            label = _LABEL_DEF.match(line)
+            if label:
+                instructions.append(ins.Label(label.group(1)))
+                continue
+            instr = parse_instruction(line)
+        except _AsmError as exc:
+            raise DexError(f"line {line_offset + line_number}: {exc}") from None
+        instructions.append(instr)
+        for reg in (instr.dst, instr.a, instr.b, *instr.args):
+            if reg is not None:
+                max_register = max(max_register, reg)
+    method = DexMethod(
+        name=name,
+        class_name=class_name,
+        params=params,
+        registers=max_register + 1 if max_register >= 0 else max(params, 1),
+        instructions=instructions,
+    )
+    method.validate()
+    return method
+
+
+def assemble(source: str) -> DexFile:
+    """Assemble a full ``.class``/``.method`` listing into a DexFile."""
+    dex = DexFile()
+    current_class: Optional[DexClass] = None
+    method_header: Optional[Tuple[str, int, int]] = None
+    method_lines: List[str] = []
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if method_header is not None and line != ".end":
+            # Keep blank placeholders so inner line numbers stay aligned
+            # with the enclosing file.
+            method_lines.append(line)
+            continue
+        if not line:
+            continue
+        try:
+            if line.startswith(".class"):
+                _, _, class_name = line.partition(" ")
+                class_name = class_name.strip()
+                if not class_name:
+                    raise _AsmError(".class needs a name")
+                current_class = dex.add_class(DexClass(name=class_name))
+            elif line.startswith(".field"):
+                if current_class is None:
+                    raise _AsmError(".field outside .class")
+                rest = line[len(".field") :].strip()
+                field_name, _, rest = rest.partition(" ")
+                rest = rest.strip()
+                static = False
+                if rest == "static" or rest.startswith("static "):
+                    static = True
+                    rest = rest[len("static") :].strip()
+                initial = parse_literal(rest) if rest else None
+                current_class.add_field(DexField(name=field_name, static=static, initial=initial))
+            elif line.startswith(".method"):
+                if current_class is None:
+                    raise _AsmError(".method outside .class")
+                words = line.split()
+                if len(words) != 3:
+                    raise _AsmError(".method needs a name and a parameter count")
+                method_header = (words[1], int(words[2]), line_number)
+                method_lines = []
+            elif line == ".end":
+                if method_header is None:
+                    raise _AsmError("stray .end")
+                name, params, header_line = method_header
+                method = assemble_method(
+                    "\n".join(method_lines),
+                    class_name=current_class.name,
+                    name=name,
+                    params=params,
+                    line_offset=header_line,
+                )
+                current_class.add_method(method)
+                method_header = None
+                method_lines = []
+            else:
+                raise _AsmError(f"unexpected directive {line!r}")
+        except _AsmError as exc:
+            raise DexError(f"line {line_number}: {exc}") from None
+
+    if method_header is not None:
+        raise DexError("unterminated .method (missing .end)")
+    dex.validate()
+    return dex

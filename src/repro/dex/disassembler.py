@@ -1,0 +1,118 @@
+"""Disassembler: the inverse of :mod:`repro.dex.assembler`.
+
+Attackers in :mod:`repro.attacks` "read" app code by disassembling it --
+the text-search attack greps disassembly for suspicious API names, and
+the round-trip property (``assemble(disassemble(dex)) == dex``) is a
+test invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dex.instructions import Instr
+from repro.dex.model import DexFile, DexMethod
+from repro.dex.opcodes import BINOPS, LIT_BINOPS, Op
+
+
+def format_literal(value) -> str:
+    """Render a literal in assembler syntax."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, bytes):
+        return f"hex:{value.hex().upper()}"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    raise TypeError(f"cannot format literal of type {type(value).__name__}")
+
+
+def format_instr(instr: Instr) -> str:
+    """One-line assembler text for an instruction."""
+    op = instr.op
+    if op is Op.LABEL:
+        return f"@{instr.value}:"
+    if op is Op.NOP:
+        return "nop"
+    if op is Op.CONST:
+        return f"const r{instr.dst}, {format_literal(instr.value)}"
+    if op is Op.MOVE:
+        return f"move r{instr.dst}, r{instr.a}"
+    if op in BINOPS:
+        return f"{op.value} r{instr.dst}, r{instr.a}, r{instr.b}"
+    if op in LIT_BINOPS:
+        return f"{op.value} r{instr.dst}, r{instr.a}, {instr.value}"
+    if op in (Op.NEG, Op.NOT):
+        return f"{op.value} r{instr.dst}, r{instr.a}"
+    if op is Op.GOTO:
+        return f"goto @{instr.target}"
+    if op in (Op.IF_EQ, Op.IF_NE, Op.IF_LT, Op.IF_GE, Op.IF_GT, Op.IF_LE):
+        return f"{op.value} r{instr.a}, r{instr.b}, @{instr.target}"
+    if op in (Op.IF_EQZ, Op.IF_NEZ, Op.IF_LTZ, Op.IF_GEZ):
+        return f"{op.value} r{instr.a}, @{instr.target}"
+    if op is Op.SWITCH:
+        entries = ", ".join(
+            f"{format_literal(key)} -> @{target}" for key, target in instr.value.items()
+        )
+        return f"switch r{instr.a}, {{{entries}}}"
+    if op is Op.RETURN:
+        return f"return r{instr.a}"
+    if op is Op.RETURN_VOID:
+        return "return_void"
+    if op is Op.THROW:
+        return f"throw r{instr.a}"
+    if op is Op.NEW_INSTANCE:
+        return f"new_instance r{instr.dst}, {instr.value}"
+    if op is Op.IGET:
+        return f"iget r{instr.dst}, r{instr.a}, {instr.value}"
+    if op is Op.IPUT:
+        return f"iput r{instr.a}, r{instr.b}, {instr.value}"
+    if op is Op.SGET:
+        return f"sget r{instr.dst}, {instr.value}"
+    if op is Op.SPUT:
+        return f"sput r{instr.a}, {instr.value}"
+    if op is Op.NEW_ARRAY:
+        return f"new_array r{instr.dst}, r{instr.a}"
+    if op is Op.AGET:
+        return f"aget r{instr.dst}, r{instr.a}, r{instr.b}"
+    if op is Op.APUT:
+        return f"aput r{instr.a}, r{instr.dst}, r{instr.b}"
+    if op is Op.ARRAY_LEN:
+        return f"array_len r{instr.dst}, r{instr.a}"
+    if op is Op.INVOKE:
+        dst = f"r{instr.dst}" if instr.dst is not None else "_"
+        parts = [dst, str(instr.value)] + [f"r{r}" for r in instr.args]
+        return "invoke " + ", ".join(parts)
+    raise TypeError(f"cannot format opcode {op!r}")
+
+
+def disassemble_method(method: DexMethod, indent: str = "    ") -> str:
+    """Instruction listing for one method (labels unindented)."""
+    lines: List[str] = []
+    for instr in method.instructions:
+        text = format_instr(instr)
+        lines.append(text if instr.op is Op.LABEL else indent + text)
+    return "\n".join(lines)
+
+
+def disassemble(dex: DexFile) -> str:
+    """Full ``.class``/``.method`` listing for a DexFile."""
+    lines: List[str] = []
+    for class_name in sorted(dex.classes):
+        cls = dex.classes[class_name]
+        lines.append(f".class {cls.name}")
+        for field in cls.fields.values():
+            static = " static" if field.static else ""
+            initial = "" if field.initial is None else f" {format_literal(field.initial)}"
+            lines.append(f".field {field.name}{static}{initial}")
+        for method_name in sorted(cls.methods):
+            method = cls.methods[method_name]
+            lines.append(f".method {method.name} {method.params}")
+            lines.append(disassemble_method(method))
+            lines.append(".end")
+        lines.append("")
+    return "\n".join(lines)

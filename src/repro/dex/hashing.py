@@ -1,0 +1,30 @@
+"""Content hashing of individual methods.
+
+Used from both sides of the code-scanning detection: BombDroid computes
+the expected hash of a pinned method at instrumentation time, and the
+``android.pm.get_method_hash`` framework call computes the live hash of
+the loaded method at runtime.  Both must agree bit-for-bit, so the
+logic lives here once.
+"""
+
+from __future__ import annotations
+
+from repro.crypto import sha1_hex
+from repro.dex.model import DexClass, DexFile, DexMethod
+from repro.dex.serializer import serialize_dex
+
+
+def method_instruction_hash(method: DexMethod) -> str:
+    """SHA-1 hex over a canonical serialization of the method body."""
+    shell = DexFile()
+    cls = DexClass(name="H")
+    clone = DexMethod(
+        name="m",
+        class_name="H",
+        params=method.params,
+        registers=method.registers,
+        instructions=list(method.instructions),
+    )
+    cls.add_method(clone)
+    shell.add_class(cls)
+    return sha1_hex(serialize_dex(shell))

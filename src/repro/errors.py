@@ -1,0 +1,95 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every package raises subclasses of :class:`ReproError` so callers can
+distinguish failures of the reproduction machinery from ordinary Python
+errors.  The hierarchy mirrors the subsystem layout: crypto, dex
+(bytecode), vm (execution), apk (packaging), core (instrumentation) and
+attacks each have a dedicated base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CryptoError(ReproError):
+    """Cryptographic failure (bad key size, bad padding, bad signature)."""
+
+
+class BadPaddingError(CryptoError):
+    """Ciphertext decrypted to an invalid PKCS#7 padding.
+
+    This is the error an attacker sees when forcing a bomb payload to
+    decrypt under the wrong key.
+    """
+
+
+class DexError(ReproError):
+    """Malformed bytecode, assembly error, or serialization failure."""
+
+
+class DexFormatError(DexError):
+    """A serialized dex blob could not be parsed."""
+
+
+class VMError(ReproError):
+    """Runtime failure inside the interpreter."""
+
+
+class VMCrash(VMError):
+    """The app process died (uncaught exception, corrupted state...).
+
+    Repackaging responses intentionally raise this; a deleted woven bomb
+    also surfaces as a crash because the original app code is gone.
+    """
+
+
+class MethodNotFound(VMError):
+    """Invocation target does not exist in the loaded class set."""
+
+
+class FieldNotFound(VMError):
+    """Field access target does not exist."""
+
+
+class BudgetExhausted(VMError):
+    """The interpreter hit its instruction budget (likely endless loop).
+
+    The endless-loop repackaging response triggers this under test
+    harnesses that cap execution.
+    """
+
+
+class ApkError(ReproError):
+    """Packaging failure."""
+
+
+class SignatureError(ApkError):
+    """APK signature verification failed."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis failure (unreachable code, malformed CFG...)."""
+
+
+class InstrumentationError(ReproError):
+    """BombDroid could not transform the app."""
+
+
+class AttackError(ReproError):
+    """An adversary analysis failed in an unexpected way."""
+
+
+class SolverError(AttackError):
+    """The constraint solver could not decide a path condition."""
+
+
+class UnsolvableConstraint(SolverError):
+    """The path condition involves an uninvertible (hash) constraint.
+
+    Raised by the symbolic executor's solver when the only way to take a
+    branch is to invert a cryptographic hash -- the heart of the paper's
+    G1 resilience argument.
+    """

@@ -1,0 +1,10 @@
+"""The adversary's repackaging workflow."""
+
+from repro.repack.repackager import (
+    RepackOptions,
+    repackage,
+    resign_only,
+    inject_adware_class,
+)
+
+__all__ = ["RepackOptions", "repackage", "resign_only", "inject_adware_class"]

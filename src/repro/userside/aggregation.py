@@ -1,0 +1,77 @@
+"""Aggregating detection across the user base (Sections 1 and 4.2).
+
+Individual detections become collective action through three channels:
+
+* **ratings** -- crashes and warnings drive bad reviews, deterring
+  further downloads;
+* **developer reports** -- the REPORT response sends the repackaged
+  app's key fingerprint home, letting the developer request a takedown;
+* **remote removal** -- once a market pulls the app, the effect
+  propagates to every device.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class AggregatedVerdict(enum.Enum):
+    CLEAN = "clean"
+    SUSPECT = "suspect"          # a few reports; below action threshold
+    TAKEDOWN = "takedown"        # enough evidence for a market request
+
+
+@dataclass
+class DetectionAggregator:
+    """Developer-side collector of user-device reports.
+
+    ``report_threshold`` reports naming the *same* foreign key
+    fingerprint justify a takedown request; a single report can be a
+    fluke (user with a tampered build), many identical ones cannot.
+    """
+
+    app_name: str
+    original_key_hex: str
+    report_threshold: int = 3
+
+    reports: List[str] = field(default_factory=list)
+    ratings: List[int] = field(default_factory=list)
+    _foreign_keys: Dict[str, int] = field(default_factory=dict)
+
+    def ingest_report(self, report: str) -> None:
+        """Parse one ``android.net.report`` message from a device."""
+        self.reports.append(report)
+        if "key=" in report:
+            key = report.rsplit("key=", 1)[1].strip()
+            if key and key != self.original_key_hex:
+                self._foreign_keys[key] = self._foreign_keys.get(key, 0) + 1
+
+    def ingest_session(self, runtime) -> None:
+        """Pull reports and synthesize a rating from one user session.
+
+        A session that saw crashes/alerts rates the app 1-2 stars; a
+        clean session rates 4-5.  (The paper: "the bad rating of a
+        repackaged app due to the poor user experience will discourage
+        other users".)
+        """
+        for report in runtime.reports:
+            self.ingest_report(report)
+        bad_experience = bool(runtime.detections) or any(
+            kind == "alert" for kind, _ in runtime.ui_effects
+        )
+        self.ratings.append(1 if bad_experience else 5)
+
+    @property
+    def average_rating(self) -> float:
+        return sum(self.ratings) / len(self.ratings) if self.ratings else 0.0
+
+    def verdict(self) -> Tuple[AggregatedVerdict, str]:
+        """The developer's decision and the offending key (if any)."""
+        if not self._foreign_keys:
+            return AggregatedVerdict.CLEAN, ""
+        key, count = max(self._foreign_keys.items(), key=lambda item: item[1])
+        if count >= self.report_threshold:
+            return AggregatedVerdict.TAKEDOWN, key
+        return AggregatedVerdict.SUSPECT, key

@@ -1,0 +1,131 @@
+"""A minimal app-market model: the ecosystem loop closing.
+
+Sections 1 and 4.2 describe how per-device detections become ecosystem
+pressure: bad ratings depress downloads, developer reports justify a
+takedown request, and Google Play's Remote Application Removal wipes a
+pulled app from devices that installed it ("propagating the effect of
+detection from one device to others").
+
+The model is deliberately small: listings keyed by signing key, a
+download counter driven by rating, and takedown + remote-removal
+mechanics the tests and examples can exercise end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.apk.package import Apk
+from repro.userside.aggregation import AggregatedVerdict, DetectionAggregator
+
+
+@dataclass
+class Listing:
+    """One app listing on the market."""
+
+    app_name: str
+    apk: Apk
+    publisher_key_hex: str
+    ratings: List[int] = field(default_factory=list)
+    downloads: int = 0
+    taken_down: bool = False
+
+    @property
+    def average_rating(self) -> float:
+        return sum(self.ratings) / len(self.ratings) if self.ratings else 3.0
+
+
+@dataclass
+class InstallRecord:
+    """An app installed on a user device (for remote removal)."""
+
+    device_label: str
+    listing: Listing
+    removed: bool = False
+
+
+class Market:
+    """Listings, downloads, ratings, takedowns, remote removal."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self.listings: Dict[str, Listing] = {}
+        self.installs: List[InstallRecord] = []
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(self, app_name: str, apk: Apk) -> Listing:
+        """List an APK; the listing is keyed by its signing identity."""
+        key = apk.cert.fingerprint_hex()
+        listing = Listing(app_name=app_name, apk=apk, publisher_key_hex=key)
+        self.listings[key] = listing
+        return listing
+
+    def listing_for_key(self, key_hex: str) -> Optional[Listing]:
+        return self.listings.get(key_hex)
+
+    # -- user behavior ----------------------------------------------------------
+
+    def download(self, device_label: str, listing: Listing) -> Optional[InstallRecord]:
+        """A user downloads an app -- unless it was taken down, or its
+        rating has scared them off (probability scales with rating)."""
+        if listing.taken_down:
+            return None
+        # 5 stars -> ~95% proceed; 1 star -> ~15%.
+        proceed_probability = 0.15 + 0.2 * (listing.average_rating - 1)
+        if self._rng.random() > proceed_probability:
+            return None
+        listing.downloads += 1
+        record = InstallRecord(device_label=device_label, listing=listing)
+        self.installs.append(record)
+        return record
+
+    def rate(self, listing: Listing, stars: int) -> None:
+        if not 1 <= stars <= 5:
+            raise ValueError("ratings are 1-5 stars")
+        listing.ratings.append(stars)
+
+    # -- enforcement ----------------------------------------------------------------
+
+    def process_takedown_request(
+        self, aggregator: DetectionAggregator
+    ) -> Optional[Listing]:
+        """Act on a developer's aggregated evidence.
+
+        When the verdict is TAKEDOWN and the offending key has a live
+        listing, pull it and remotely remove it from every device that
+        installed it.  Returns the pulled listing, if any.
+        """
+        verdict, offender_key = aggregator.verdict()
+        if verdict is not AggregatedVerdict.TAKEDOWN:
+            return None
+        listing = self.listings.get(offender_key)
+        if listing is None or listing.taken_down:
+            return None
+        listing.taken_down = True
+        for record in self.installs:
+            if record.listing is listing:
+                record.removed = True
+        return listing
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def active_installs(self, listing: Listing) -> int:
+        return sum(
+            1
+            for record in self.installs
+            if record.listing is listing and not record.removed
+        )
+
+    def summary(self) -> str:
+        lines = []
+        for listing in self.listings.values():
+            status = "TAKEN DOWN" if listing.taken_down else "live"
+            lines.append(
+                f"{listing.app_name} by {listing.publisher_key_hex[:12]}...: "
+                f"{listing.downloads} downloads, "
+                f"{listing.average_rating:.1f} stars, {status}"
+            )
+        return "\n".join(lines)

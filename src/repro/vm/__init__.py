@@ -1,0 +1,45 @@
+"""Execution substrate: a register-machine VM standing in for ART.
+
+Components:
+
+``values``       runtime value helpers (32-bit int semantics, instances)
+``device``       device/environment profiles and the population sampler
+                 (the diversity that inner triggers exploit)
+``events``       UI event model consumed by fuzzers and play sessions
+``framework``    the Android-framework API surface (``android.*``,
+                 ``java.*`` and the ``bomb.*`` helpers)
+``interpreter``  the bytecode interpreter with tracing hooks
+``runtime``      class loading (including dynamic loading of decrypted
+                 bomb payloads), static state, app installation
+"""
+
+from repro.vm.values import Instance, to_int32, truthy
+from repro.vm.device import (
+    DeviceProfile,
+    DevicePopulation,
+    ENV_DOMAINS,
+    attacker_lab_profiles,
+)
+from repro.vm.events import Event, EventKind, handler_name_for
+from repro.vm.interpreter import Interpreter, Tracer, CoverageTracer, CountingTracer
+from repro.vm.runtime import Runtime, BombRegistry, BombEvent
+
+__all__ = [
+    "Instance",
+    "to_int32",
+    "truthy",
+    "DeviceProfile",
+    "DevicePopulation",
+    "ENV_DOMAINS",
+    "attacker_lab_profiles",
+    "Event",
+    "EventKind",
+    "handler_name_for",
+    "Interpreter",
+    "Tracer",
+    "CoverageTracer",
+    "CountingTracer",
+    "Runtime",
+    "BombRegistry",
+    "BombEvent",
+]

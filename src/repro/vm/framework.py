@@ -1,0 +1,387 @@
+"""The framework API surface (``android.*``, ``java.*``, ``bomb.*``).
+
+Bytecode reaches the outside world only through INVOKE on these names.
+Three namespaces:
+
+``android.*``  the Android system services the paper's detection relies
+               on -- ``android.pm.get_public_key`` is the
+               ``Certificate.getPublicKey`` equivalent, ``android.pm.
+               get_manifest_digest`` reads MANIFEST.MF, ``android.env.
+               get`` reads Build/sensor/network state, ``android.res.
+               get_string`` reads strings.xml.
+
+``java.*``     string/math library calls (``equals``, ``startsWith``...
+               -- the equality methods the QC finder recognizes).
+
+``bomb.*``     the runtime support BombDroid's injected code calls:
+               salted hashing, key derivation, AES decryption, dynamic
+               payload loading, and measurement markers.  In a real
+               deployment the markers would not exist; here they feed
+               the :class:`repro.vm.runtime.BombRegistry` that the
+               evaluation harness reads.
+
+Every call has a *cost weight* approximating its relative runtime
+expense; the interpreter accumulates these into ``runtime.cost_units``,
+which is the deterministic execution-time metric used by the Table 5
+overhead experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.crypto import AES128, Salt, derive_key, encode_value, sha1_hex
+from repro.errors import BadPaddingError, CryptoError, VMCrash
+from repro.vm.values import require_int, to_int32
+
+#: Cost (in interpreter units) of each framework call, on top of the
+#: 1-unit INVOKE itself.  Hashing and decryption are expensive, which is
+#: why hot-method exclusion matters for overhead.
+CALL_COSTS: Dict[str, int] = {
+    "bomb.hash": 15,
+    "bomb.derive": 15,
+    "bomb.decrypt": 300,
+    "bomb.load_run": 150,
+    "bomb.sha1_hex": 80,
+    "bomb.stego_extract": 20,
+    "android.pm.get_method_hash": 120,
+    "android.pm.get_public_key": 30,
+    "android.pm.get_manifest_digest": 30,
+    "android.pm.get_code_blob": 50,
+    "android.res.get_string": 5,
+    "android.env.get": 5,
+}
+_DEFAULT_COST = 2
+
+
+class Framework:
+    """Dispatcher for framework API calls."""
+
+    def __init__(self, runtime) -> None:
+        self._runtime = runtime
+        self._handlers: Dict[str, Callable] = {}
+        self._register_all()
+
+    def call(self, name: str, args: List, budget: List[int]):
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise VMCrash(f"unknown method {name!r}")
+        self._runtime.cost_units += CALL_COSTS.get(name, _DEFAULT_COST)
+        return handler(args, budget)
+
+    def knows(self, name: str) -> bool:
+        return name in self._handlers
+
+    def _register_all(self) -> None:
+        register = self._handlers.__setitem__
+
+        # -- android.* ------------------------------------------------------
+        register("android.env.get", self._env_get)
+        register("android.time.now", self._time_now)
+        register("android.pm.get_public_key", self._get_public_key)
+        register("android.pm.get_manifest_digest", self._get_manifest_digest)
+        register("android.pm.get_code_blob", self._get_code_blob)
+        register("android.res.get_string", self._res_get_string)
+        register("android.log.i", self._log)
+        register("android.ui.alert", self._alert)
+        register("android.ui.toast", self._toast)
+        register("android.net.report", self._report)
+        register("android.reflect.call", self._reflect_call)
+
+        # -- java.* ---------------------------------------------------------
+        register("java.str.equals", self._str_equals)
+        register("java.str.starts_with", self._str_starts_with)
+        register("java.str.ends_with", self._str_ends_with)
+        register("java.str.contains", self._str_contains)
+        register("java.str.length", self._str_length)
+        register("java.str.concat", self._str_concat)
+        register("java.str.substring", self._str_substring)
+        register("java.str.char_at", self._str_char_at)
+        register("java.str.index_of", self._str_index_of)
+        register("java.str.hash_code", self._str_hash_code)
+        register("java.str.from_int", self._str_from_int)
+        register("java.str.to_int", self._str_to_int)
+        register("java.math.abs", self._math_abs)
+        register("java.math.min", self._math_min)
+        register("java.math.max", self._math_max)
+        register("java.rand.next", self._rand_next)
+
+        # -- bomb.* ----------------------------------------------------------
+        register("bomb.hash", self._bomb_hash)
+        register("bomb.sha1_hex", self._bomb_sha1_hex)
+        register("bomb.stego_extract", self._bomb_stego_extract)
+        register("android.pm.get_method_hash", self._get_method_hash)
+        register("bomb.derive", self._bomb_derive)
+        register("bomb.decrypt", self._bomb_decrypt)
+        register("bomb.load_run", self._bomb_load_run)
+        register("bomb.mark", self._bomb_mark)
+
+    # ------------------------------------------------------------------
+    # android.*
+    # ------------------------------------------------------------------
+
+    def _env_get(self, args, budget):
+        (name,) = args
+        return self._runtime.device.get(name)
+
+    def _time_now(self, args, budget):
+        return int(self._runtime.device.clock)
+
+    def _get_public_key(self, args, budget):
+        """Hex fingerprint of the *installed* certificate's public key.
+
+        The Android system manages the certificate after install; app
+        code cannot change it (threat model, Section 2.1).
+        """
+        package = self._runtime.require_package("android.pm.get_public_key")
+        return package.cert_fingerprint_hex
+
+    def _get_manifest_digest(self, args, budget):
+        (entry,) = args
+        package = self._runtime.require_package("android.pm.get_manifest_digest")
+        digest = package.manifest_digests.get(entry)
+        if digest is None:
+            raise VMCrash(f"MANIFEST.MF has no entry {entry!r}")
+        return digest
+
+    def _get_code_blob(self, args, budget):
+        package = self._runtime.require_package("android.pm.get_code_blob")
+        return package.code_blob
+
+    def _res_get_string(self, args, budget):
+        (key,) = args
+        package = self._runtime.require_package("android.res.get_string")
+        value = package.resources.get(key)
+        if value is None:
+            raise VMCrash(f"strings.xml has no entry {key!r}")
+        return value
+
+    def _log(self, args, budget):
+        (message,) = args
+        self._runtime.logs.append(str(message))
+        return None
+
+    def _alert(self, args, budget):
+        (message,) = args
+        self._runtime.ui_effects.append(("alert", str(message)))
+        return None
+
+    def _toast(self, args, budget):
+        (message,) = args
+        self._runtime.ui_effects.append(("toast", str(message)))
+        return None
+
+    def _report(self, args, budget):
+        (message,) = args
+        self._runtime.reports.append(str(message))
+        return None
+
+    def _reflect_call(self, args, budget):
+        """Reflection: call a framework API whose name is a runtime string.
+
+        This is how SSN hides ``getPublicKey`` -- and why checking the
+        reflection destination (the instrumentation attack) reveals it.
+        """
+        name = args[0]
+        if not isinstance(name, str):
+            raise VMCrash("reflective call needs a string method name")
+        self._runtime.reflection_log.append(name)
+        return self.call(name, list(args[1:]), budget)
+
+    # ------------------------------------------------------------------
+    # java.*
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_str(value, context: str) -> str:
+        if not isinstance(value, str):
+            raise VMCrash(f"{context}: expected string, got {type(value).__name__}")
+        return value
+
+    def _str_equals(self, args, budget):
+        a, b = args
+        return isinstance(a, str) and isinstance(b, str) and a == b
+
+    def _str_starts_with(self, args, budget):
+        a, b = args
+        return self._as_str(a, "starts_with").startswith(self._as_str(b, "starts_with"))
+
+    def _str_ends_with(self, args, budget):
+        a, b = args
+        return self._as_str(a, "ends_with").endswith(self._as_str(b, "ends_with"))
+
+    def _str_contains(self, args, budget):
+        a, b = args
+        return self._as_str(b, "contains") in self._as_str(a, "contains")
+
+    def _str_length(self, args, budget):
+        (a,) = args
+        return len(self._as_str(a, "length"))
+
+    def _str_concat(self, args, budget):
+        a, b = args
+        if isinstance(b, int) and not isinstance(b, bool):
+            b = str(b)
+        return self._as_str(a, "concat") + self._as_str(b, "concat")
+
+    def _str_substring(self, args, budget):
+        s, start, end = args
+        s = self._as_str(s, "substring")
+        start = require_int(start, "substring")
+        end = require_int(end, "substring")
+        if not 0 <= start <= end <= len(s):
+            raise VMCrash(f"substring({start},{end}) out of bounds for length {len(s)}")
+        return s[start:end]
+
+    def _str_char_at(self, args, budget):
+        s, index = args
+        s = self._as_str(s, "char_at")
+        index = require_int(index, "char_at")
+        if not 0 <= index < len(s):
+            raise VMCrash(f"char_at({index}) out of bounds for length {len(s)}")
+        return ord(s[index])
+
+    def _str_index_of(self, args, budget):
+        s, needle = args
+        return self._as_str(s, "index_of").find(self._as_str(needle, "index_of"))
+
+    def _str_hash_code(self, args, budget):
+        """Java's String.hashCode: h = 31*h + c, wrapped to 32 bits."""
+        (s,) = args
+        result = 0
+        for ch in self._as_str(s, "hash_code"):
+            result = to_int32(31 * result + ord(ch))
+        return result
+
+    def _str_from_int(self, args, budget):
+        (value,) = args
+        return str(require_int(value, "from_int"))
+
+    def _str_to_int(self, args, budget):
+        (s,) = args
+        try:
+            return to_int32(int(self._as_str(s, "to_int")))
+        except ValueError:
+            raise VMCrash(f"cannot parse int from {s!r}") from None
+
+    def _math_abs(self, args, budget):
+        (a,) = args
+        return to_int32(abs(require_int(a, "abs")))
+
+    def _math_min(self, args, budget):
+        a, b = args
+        return min(require_int(a, "min"), require_int(b, "min"))
+
+    def _math_max(self, args, budget):
+        a, b = args
+        return max(require_int(a, "max"), require_int(b, "max"))
+
+    def _rand_next(self, args, budget):
+        """Uniform int in [0, bound) -- SSN's probabilistic invocation."""
+        (bound,) = args
+        bound = require_int(bound, "rand.next")
+        if bound <= 0:
+            raise VMCrash("rand.next bound must be positive")
+        return self._runtime.rng.randrange(bound)
+
+    # ------------------------------------------------------------------
+    # bomb.*
+    # ------------------------------------------------------------------
+
+    def _bomb_hash(self, args, budget):
+        """``Hash(X | salt)`` as a hex string; records HASH_EVALUATED.
+
+        Unencodable runtime values (null, objects, arrays) can never
+        equal the removed constant, so they hash to a sentinel that
+        matches no stored digest instead of crashing the app.
+        """
+        value, salt_hex, bomb_id = args
+        self._runtime.bombs.record(bomb_id, "evaluated")
+        try:
+            encoded = encode_value(value)
+        except TypeError:
+            return "00" * 20
+        return sha1_hex(encoded + bytes.fromhex(salt_hex))
+
+    def _bomb_derive(self, args, budget):
+        """AES key from the live trigger operand (never from a constant)."""
+        value, salt_hex = args
+        try:
+            return derive_key(value, Salt(bytes.fromhex(salt_hex)))
+        except TypeError as exc:
+            raise VMCrash(str(exc)) from None
+
+    def _bomb_decrypt(self, args, budget):
+        """Decrypt a payload blob; wrong keys crash (bad padding)."""
+        ciphertext, key, bomb_id = args
+        if not isinstance(ciphertext, bytes) or not isinstance(key, bytes):
+            raise VMCrash("bomb.decrypt expects bytes arguments")
+        try:
+            blob = AES128(key).decrypt_cbc(ciphertext, b"\x00" * 16)
+        except (BadPaddingError, CryptoError) as exc:
+            raise VMCrash(f"payload decryption failed: {exc}") from None
+        self._runtime.bombs.record(bomb_id, "outer_satisfied")
+        return blob
+
+    def _bomb_load_run(self, args, budget):
+        """Load a decrypted dex blob and run its entry with the register
+        file array; returns the (possibly mutated) array.
+
+        Loading is cached by blob digest ("the code decryption is
+        one-time effort by caching it in memory", Section 8.4).
+        """
+        blob, entry, register_array, bomb_id = args
+        if not isinstance(blob, bytes):
+            raise VMCrash("bomb.load_run expects a bytes blob")
+        self._runtime.bombs.record(bomb_id, "payload_run")
+        method = self._runtime.load_blob_method(blob, entry)
+        return self._runtime.interpreter._run_frame(method, [register_array], budget, depth=1)
+
+    def _bomb_sha1_hex(self, args, budget):
+        """SHA-1 of a string or bytes value, as hex (code scanning)."""
+        (value,) = args
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        if not isinstance(value, bytes):
+            raise VMCrash("bomb.sha1_hex expects bytes or string")
+        return sha1_hex(value)
+
+    def _bomb_stego_extract(self, args, budget):
+        """Recover a hidden hex digest fragment from a carrier string.
+
+        The extraction logic ships inside encrypted payload code, so an
+        attacker staring at the suspicious-looking strings.xml entry
+        still "does not know how to manipulate" it (Section 4.1).
+        """
+        from repro.apk.stego import extract_from_cover
+
+        carrier, length = args
+        if not isinstance(carrier, str):
+            raise VMCrash("bomb.stego_extract expects a carrier string")
+        try:
+            return extract_from_cover(carrier, require_int(length, "stego_extract")).hex()
+        except Exception as exc:
+            raise VMCrash(f"stego extraction failed: {exc}") from None
+
+    def _get_method_hash(self, args, budget):
+        """SHA-1 hex of a loaded method's instruction stream.
+
+        Backs code-snippet scanning: a bomb can pin the integrity of
+        another bomb's prologue (or any method) and detect the code
+        instrumentation attack at runtime.
+        """
+        from repro.dex.hashing import method_instruction_hash
+
+        (name,) = args
+        method = self._runtime.find_method(str(name))
+        if method is None:
+            raise VMCrash(f"get_method_hash: no method {name!r}")
+        return method_instruction_hash(method)
+
+    def _bomb_mark(self, args, budget):
+        """Measurement marker emitted by generated payload code."""
+        bomb_id, kind = args
+        self._runtime.bombs.record(bomb_id, kind)
+        if kind == "detected":
+            self._runtime.detections.append(bomb_id)
+        return None

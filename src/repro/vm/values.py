@@ -1,0 +1,69 @@
+"""Runtime value model.
+
+Registers hold Python values restricted to: ``int`` (32-bit signed
+semantics, like Dalvik), ``bool``, ``str``, ``bytes``, ``None``,
+``list`` (arrays) and :class:`Instance` (objects).  Arithmetic wraps at
+32 bits so brute-force domain arguments (Section 5.1: "if X is a 32-bit
+integer, the brute force attack may take up to 2^32 t time") are
+faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import VMCrash
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+_MASK = 0xFFFFFFFF
+
+
+def to_int32(value: int) -> int:
+    """Wrap an int to signed 32-bit two's-complement."""
+    value &= _MASK
+    return value - 0x100000000 if value > INT32_MAX else value
+
+
+def truthy(value) -> bool:
+    """Dalvik-style zero test: 0, False, None and "" are 'zero'."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    return True
+
+
+def require_int(value, context: str) -> int:
+    """Coerce to int for arithmetic; bools count as 0/1 (weak QCs)."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise VMCrash(f"{context}: expected int, got {type(value).__name__}")
+
+
+class Instance:
+    """A heap object: a class name plus instance fields."""
+
+    __slots__ = ("class_name", "fields")
+
+    def __init__(self, class_name: str, fields: Dict[str, object] = None) -> None:
+        self.class_name = class_name
+        self.fields: Dict[str, object] = dict(fields or {})
+
+    def get(self, field: str):
+        try:
+            return self.fields[field]
+        except KeyError:
+            raise VMCrash(f"{self.class_name} has no field {field!r}") from None
+
+    def put(self, field: str, value) -> None:
+        self.fields[field] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.class_name} {self.fields!r}>"

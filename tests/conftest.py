@@ -1,0 +1,144 @@
+"""Shared fixtures.
+
+Protection runs are expensive (profiling + payload crypto), so the
+fixtures that produce protected/repackaged apps are session-scoped and
+derived from one small deterministic app.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apk.package import Apk, build_apk
+from repro.apk.resources import Resources
+from repro.core import BombDroid, BombDroidConfig
+from repro.core.config import DetectionMethod, ResponseKind
+from repro.crypto import RSAKeyPair
+from repro.dex import assemble
+
+
+SMALL_APP_SOURCE = """
+.class Game
+.field score static 0
+.field mode static 0
+.field label static "idle"
+.field flag static false
+.method main 0
+    const r0, 0
+    sput r0, Game.score
+    return_void
+.end
+.method on_touch 2
+    const r2, 5
+    if_ne r0, r2, @skip
+    sget r3, Game.score
+    add_lit r3, r3, 10
+    sput r3, Game.score
+@skip:
+    sget r4, Game.mode
+    add r4, r4, r0
+    sput r4, Game.mode
+    return_void
+.end
+.method on_menu 1
+    switch r0, {1 -> @one, 2 -> @two}
+    return_void
+@one:
+    const r1, 100
+    sput r1, Game.score
+    goto @end
+@two:
+    const r1, 200
+    sput r1, Game.score
+    goto @end
+@end:
+    return_void
+.end
+.method on_text 1
+    const r1, "cheat"
+    invoke r2, java.str.equals, r0, r1
+    if_eqz r2, @no
+    const r3, 9999
+    sput r3, Game.score
+@no:
+    sput r0, Game.label
+    return_void
+.end
+.method on_key 1
+    rem_lit r1, r0, 8
+    const r2, 3
+    if_ne r1, r2, @out
+    sget r3, Game.mode
+    add_lit r3, r3, 1
+    sput r3, Game.mode
+@out:
+    return_void
+.end
+.method helper 1
+    mul_lit r1, r0, 3
+    add_lit r1, r1, 2
+    return r1
+.end
+"""
+
+
+@pytest.fixture(scope="session")
+def developer_key() -> RSAKeyPair:
+    return RSAKeyPair.generate(seed=11)
+
+
+@pytest.fixture(scope="session")
+def attacker_key() -> RSAKeyPair:
+    return RSAKeyPair.generate(seed=666)
+
+
+@pytest.fixture(scope="session")
+def small_apk(developer_key) -> Apk:
+    dex = assemble(SMALL_APP_SOURCE)
+    resources = Resources(
+        strings={
+            "app_name": "Game",
+            "greeting": "Welcome to the Game application enjoy playing it today friend",
+        },
+        app_name="Game",
+        author="honest-dev",
+    )
+    return build_apk(dex, resources, developer_key)
+
+
+@pytest.fixture(scope="session")
+def protection(small_apk, developer_key):
+    """(protected_apk, report) for the small app, all detection methods."""
+    config = BombDroidConfig(
+        seed=3,
+        profiling_events=400,
+        detection_methods=(
+            DetectionMethod.PUBLIC_KEY,
+            DetectionMethod.CODE_DIGEST,
+            DetectionMethod.CODE_SCAN,
+        ),
+        responses=(
+            ResponseKind.CRASH,
+            ResponseKind.WARN,
+            ResponseKind.REPORT,
+            ResponseKind.SLOWDOWN,
+        ),
+    )
+    return BombDroid(config).protect(small_apk, developer_key)
+
+
+@pytest.fixture(scope="session")
+def protected_apk(protection) -> Apk:
+    return protection[0]
+
+
+@pytest.fixture(scope="session")
+def protection_report(protection):
+    return protection[1]
+
+
+@pytest.fixture(scope="session")
+def pirated_apk(protected_apk, attacker_key) -> Apk:
+    from repro.repack import repackage
+
+    return repackage(protected_apk, attacker_key)

@@ -1,0 +1,175 @@
+"""The symbolic-execution constraint solver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks.solver import (
+    BinExpr,
+    Const,
+    Constraint,
+    EqExpr,
+    HashExpr,
+    Solver,
+    Sym,
+    Unsat,
+    make_binop,
+)
+from repro.errors import UnsolvableConstraint
+
+
+X = Sym("x", "int")
+S = Sym("s", "str")
+
+
+def solve(*constraints):
+    return Solver().solve(list(constraints))
+
+
+class TestBasics:
+    def test_direct_equality(self):
+        model = solve(Constraint("eq", X, Const(42)))
+        assert model["x"] == 42
+
+    def test_contradiction(self):
+        with pytest.raises(Unsat):
+            solve(Constraint("eq", X, Const(1)), Constraint("eq", X, Const(2)))
+
+    def test_eq_and_ne_conflict(self):
+        with pytest.raises(Unsat):
+            solve(Constraint("eq", X, Const(5)), Constraint("ne", X, Const(5)))
+
+    def test_interval(self):
+        model = solve(
+            Constraint("ge", X, Const(10)), Constraint("lt", X, Const(12))
+        )
+        assert model["x"] in (10, 11)
+
+    def test_empty_interval(self):
+        with pytest.raises(Unsat):
+            solve(Constraint("ge", X, Const(10)), Constraint("lt", X, Const(10)))
+
+    def test_exclusions_respected(self):
+        model = solve(
+            Constraint("ge", X, Const(0)),
+            Constraint("le", X, Const(2)),
+            Constraint("ne", X, Const(0)),
+            Constraint("ne", X, Const(1)),
+        )
+        assert model["x"] == 2
+
+    def test_string_equality(self):
+        model = solve(Constraint("eq", S, Const("magic")))
+        assert model["s"] == "magic"
+
+    def test_string_ne_avoided(self):
+        model = solve(Constraint("ne", S, Const("?")))
+        assert model["s"] != "?"
+
+    def test_concrete_tautology_ok(self):
+        solve(Constraint("eq", Const(3), Const(3)))
+
+    def test_concrete_contradiction(self):
+        with pytest.raises(Unsat):
+            solve(Constraint("eq", Const(3), Const(4)))
+
+
+class TestAffineInversion:
+    def test_add_chain(self):
+        expr = make_binop("add", X, Const(10))
+        model = solve(Constraint("eq", expr, Const(17)))
+        assert model["x"] == 7
+
+    def test_mul_add_chain(self):
+        # 3x + 2 == 11  =>  x == 3
+        expr = make_binop("add", make_binop("mul", X, Const(3)), Const(2))
+        model = solve(Constraint("eq", expr, Const(11)))
+        assert model["x"] == 3
+
+    def test_mul_without_integer_solution(self):
+        expr = make_binop("mul", X, Const(3))
+        with pytest.raises(Unsat):
+            solve(Constraint("eq", expr, Const(10)))
+
+    def test_xor_inversion(self):
+        expr = make_binop("xor", X, Const(0xFF))
+        model = solve(Constraint("eq", expr, Const(0x0F)))
+        assert model["x"] == 0xF0
+
+    def test_const_minus_x(self):
+        expr = make_binop("sub", Const(100), X)
+        model = solve(Constraint("eq", expr, Const(58)))
+        assert model["x"] == 42
+
+    def test_congruence(self):
+        # x % 8 == 5
+        expr = make_binop("rem", X, Const(8))
+        model = solve(Constraint("eq", expr, Const(5)))
+        assert model["x"] % 8 == 5
+
+    def test_congruence_with_bounds(self):
+        expr = make_binop("rem", X, Const(8))
+        model = solve(
+            Constraint("eq", expr, Const(5)),
+            Constraint("ge", X, Const(100)),
+            Constraint("lt", X, Const(120)),
+        )
+        assert 100 <= model["x"] < 120 and model["x"] % 8 == 5
+
+    @given(
+        st.integers(min_value=-(2**20), max_value=2**20),
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_affine_roundtrip_property(self, x_value, scale, offset):
+        """solve(scale*x + offset == scale*v + offset) recovers a valid x."""
+        target = scale * x_value + offset
+        expr = make_binop("add", make_binop("mul", X, Const(scale)), Const(offset))
+        model = solve(Constraint("eq", expr, Const(target)))
+        assert scale * model["x"] + offset == target
+
+
+class TestHashOpacity:
+    def test_hash_equality_unsolvable(self):
+        expr = HashExpr(X, "salt")
+        with pytest.raises(UnsolvableConstraint):
+            solve(Constraint("eq", expr, Const("ab" * 20)))
+
+    def test_hash_disequality_satisfiable(self):
+        expr = HashExpr(X, "salt")
+        solve(Constraint("ne", expr, Const("ab" * 20)))
+
+    def test_eq_expr_over_hash_unsolvable(self):
+        # (hash(x) == Hc) == true  -- the exact bomb branch shape.
+        boolean = EqExpr(HashExpr(X, "salt"), Const("ab" * 20))
+        with pytest.raises(UnsolvableConstraint):
+            solve(Constraint("ne", boolean, Const(0)))
+
+    def test_eq_expr_over_hash_false_side_fine(self):
+        boolean = EqExpr(HashExpr(X, "salt"), Const("ab" * 20))
+        solve(Constraint("eq", boolean, Const(0)))
+
+
+class TestEqExprReduction:
+    def test_string_compare_true_branch(self):
+        boolean = EqExpr(S, Const("magic"))
+        model = solve(Constraint("ne", boolean, Const(0)))
+        assert model["s"] == "magic"
+
+    def test_string_compare_false_branch(self):
+        boolean = EqExpr(S, Const("magic"))
+        model = solve(Constraint("eq", boolean, Const(0)))
+        assert model["s"] != "magic"
+
+
+class TestFolding:
+    def test_constant_folding(self):
+        assert make_binop("add", Const(2), Const(3)) == Const(5)
+        assert make_binop("mul", Const(-4), Const(3)) == Const(-12)
+
+    def test_folding_wraps_32bit(self):
+        folded = make_binop("add", Const(2**31 - 1), Const(1))
+        assert folded == Const(-(2**31))
+
+    def test_division_by_zero_stays_symbolic(self):
+        expr = make_binop("div", Const(4), Const(0))
+        assert isinstance(expr, BinExpr)

@@ -1,0 +1,81 @@
+"""The command-line interface, end to end through temp files."""
+
+import pytest
+
+from repro.cli import load_apk, main, save_apk
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    return tmp_path
+
+
+def test_build_protect_inspect_roundtrip(workdir, capsys):
+    app = str(workdir / "app.rapk")
+    protected = str(workdir / "protected.rapk")
+
+    assert main(["build", "--name", "CliDemo", "--seed", "4", "--scale", "0.1",
+                 "--out", app]) == 0
+    out = capsys.readouterr().out
+    assert "built CliDemo" in out
+
+    # developer key seed for generated apps is seed + 7000
+    assert main(["protect", "--in", app, "--out", protected,
+                 "--key-seed", "7004", "--profiling-events", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "bombs" in out
+
+    assert main(["inspect", "--in", protected]) == 0
+    out = capsys.readouterr().out
+    assert "signature OK" in out
+    assert "visible bomb sites:" in out
+
+
+def test_repackage_and_simulate(workdir, capsys):
+    app = str(workdir / "app.rapk")
+    protected = str(workdir / "protected.rapk")
+    pirated = str(workdir / "pirated.rapk")
+
+    main(["build", "--name", "CliDemo2", "--seed", "5", "--scale", "0.1", "--out", app])
+    main(["protect", "--in", app, "--out", protected, "--key-seed", "7005",
+          "--profiling-events", "200"])
+    capsys.readouterr()
+
+    assert main(["repackage", "--in", protected, "--out", pirated]) == 0
+    assert main(["simulate", "--in", pirated, "--devices", "4",
+                 "--events", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "detected on" in out
+
+
+def test_attack_subcommand(workdir, capsys):
+    app = str(workdir / "app.rapk")
+    protected = str(workdir / "protected.rapk")
+    main(["build", "--name", "CliDemo3", "--seed", "6", "--scale", "0.1", "--out", app])
+    main(["protect", "--in", app, "--out", protected, "--key-seed", "7006",
+          "--profiling-events", "200"])
+    capsys.readouterr()
+
+    # Exit code 0 = defense resisted.
+    assert main(["attack", "--in", protected, "--attack", "symbolic"]) == 0
+    out = capsys.readouterr().out
+    assert "resisted" in out
+
+
+def test_apk_file_roundtrip(workdir, small_apk):
+    path = str(workdir / "x.rapk")
+    from repro.cli import _save_with_manifest
+
+    _save_with_manifest(small_apk, path)
+    restored = load_apk(path)
+    restored.verify()
+    assert restored.entries["classes.dex"] == small_apk.entries["classes.dex"]
+
+
+def test_load_rejects_garbage(workdir):
+    path = workdir / "junk.rapk"
+    path.write_bytes(b"not an apk")
+    from repro.errors import ApkError
+
+    with pytest.raises(ApkError):
+        load_apk(str(path))

@@ -1,0 +1,261 @@
+"""Payload synthesis, encryption, control protocol, responses."""
+
+import pytest
+
+from repro.apk import Resources, build_apk
+from repro.core.config import DetectionMethod, ResponseKind
+from repro.core.payloads import (
+    CONTROL_FALLTHROUGH,
+    CONTROL_RETURN_VALUE,
+    CONTROL_RETURN_VOID,
+    PAYLOAD_IV,
+    DetectionSpec,
+    PayloadSpec,
+    build_payload_dex,
+    encrypt_payload,
+)
+from repro.core.inner_triggers import CmpOp, Connective, Constraint, InnerCondition
+from repro.crypto import AES128, RSAKeyPair, Salt, derive_key
+from repro.dex import assemble, instructions as ins
+from repro.dex.serializer import deserialize_dex, serialize_dex
+from repro.errors import BudgetExhausted, VMCrash
+from repro.vm import Runtime
+from repro.vm.device import attacker_lab_profiles
+from repro.vm.values import Instance
+
+
+APP_SOURCE = ".class A\n.field anchor static 5\n.method on_key 1\nreturn_void\n.end"
+
+
+def installed_runtime(device=None, signer_seed=2):
+    dex = assemble(APP_SOURCE)
+    key = RSAKeyPair.generate(seed=signer_seed)
+    apk = build_apk(dex, Resources(strings={"app_name": "A"}), key)
+    runtime = Runtime(
+        apk.dex(), device=device, package=apk.install_view(), seed=0
+    )
+    return runtime, key, apk
+
+
+def always_true_inner() -> InnerCondition:
+    return InnerCondition(
+        constraints=(Constraint("gps.lat", CmpOp.GT, -91),), connective=Connective.AND
+    )
+
+
+def run_payload(runtime, spec: PayloadSpec, array):
+    dex = build_payload_dex(spec)
+    blob = serialize_dex(dex)
+    method = runtime.load_blob_method(blob, spec.entry)
+    return runtime.interpreter.run(method, [array])
+
+
+class TestControlProtocol:
+    def test_fallthrough_roundtrips_registers(self):
+        from repro.dex.opcodes import Op
+
+        runtime, key, _ = installed_runtime()
+        spec = PayloadSpec(
+            bomb_id="b1", payload_class="Bomb$b1", slots=3, app_name="A",
+            woven_body=[ins.binop_lit(Op.ADD_LIT, 1, 1, 5)],
+        )
+        array = [10, 20, 30, None, None]
+        result = run_payload(runtime, spec, array)
+        assert result[0] == 15            # slot 0 mutated by the body
+        assert result[1:3] == [20, 30]
+        assert result[3] == CONTROL_FALLTHROUGH
+
+    def test_return_value_control(self):
+        from repro.dex.opcodes import Op
+
+        runtime, key, _ = installed_runtime()
+        spec = PayloadSpec(
+            bomb_id="b2", payload_class="Bomb$b2", slots=1, app_name="A",
+            woven_body=[ins.ret(1)],
+        )
+        result = run_payload(runtime, spec, [7, None, None])
+        assert result[1] == CONTROL_RETURN_VALUE
+        assert result[2] == 7
+
+    def test_return_void_control(self):
+        runtime, key, _ = installed_runtime()
+        spec = PayloadSpec(
+            bomb_id="b3", payload_class="Bomb$b3", slots=0, app_name="A",
+            woven_body=[ins.ret_void()],
+        )
+        result = run_payload(runtime, spec, [None, None])
+        assert result[0] == CONTROL_RETURN_VOID
+
+
+class TestEncryption:
+    def test_roundtrip_under_derived_key(self):
+        spec = PayloadSpec(bomb_id="b4", payload_class="Bomb$b4", slots=0, app_name="A")
+        dex = build_payload_dex(spec)
+        salt = Salt.from_seed(9)
+        ciphertext = encrypt_payload(dex, 42, salt)
+        blob = AES128(derive_key(42, salt)).decrypt_cbc(ciphertext, PAYLOAD_IV)
+        assert serialize_dex(deserialize_dex(blob)) == serialize_dex(dex)
+
+    def test_wrong_constant_cannot_decrypt(self):
+        spec = PayloadSpec(bomb_id="b5", payload_class="Bomb$b5", slots=0, app_name="A")
+        ciphertext = encrypt_payload(build_payload_dex(spec), 42, Salt.from_seed(9))
+        with pytest.raises(Exception):
+            AES128(derive_key(43, Salt.from_seed(9))).decrypt_cbc(ciphertext, PAYLOAD_IV)
+
+    def test_payload_bytes_leak_nothing(self):
+        spec = PayloadSpec(
+            bomb_id="b6", payload_class="Bomb$b6", slots=0, app_name="A",
+            detection=DetectionSpec(
+                method=DetectionMethod.PUBLIC_KEY, original_key_hex="aa" * 20
+            ),
+            response=ResponseKind.CRASH,
+            inner=always_true_inner(),
+        )
+        ciphertext = encrypt_payload(build_payload_dex(spec), "c", Salt.from_seed(1))
+        assert b"get_public_key" not in ciphertext
+        assert bytes.fromhex("aa" * 20) not in ciphertext
+        assert b"gps.lat" not in ciphertext
+
+
+class TestDetection:
+    def _spec(self, key_hex, response=ResponseKind.CRASH, inner=None):
+        return PayloadSpec(
+            bomb_id="bd", payload_class="Bomb$bd", slots=0, app_name="A",
+            detection=DetectionSpec(
+                method=DetectionMethod.PUBLIC_KEY, original_key_hex=key_hex
+            ),
+            response=response,
+            inner=inner,
+        )
+
+    def test_genuine_app_passes(self):
+        runtime, key, _ = installed_runtime()
+        spec = self._spec(key.public.fingerprint().hex())
+        run_payload(runtime, spec, [None, None])
+        assert runtime.detections == []
+        assert "bd" in runtime.bombs.bombs_with("inner_met")
+
+    def test_foreign_key_detected_and_crashes(self):
+        runtime, key, _ = installed_runtime()
+        spec = self._spec("11" * 20)
+        with pytest.raises(VMCrash, match="repackaging response"):
+            run_payload(runtime, spec, [None, None])
+        assert runtime.detections == ["bd"]
+        assert "bd" in runtime.bombs.bombs_with("responded")
+
+    def test_unmet_inner_skips_detection(self):
+        runtime, key, _ = installed_runtime(device=attacker_lab_profiles(1)[0])
+        impossible = InnerCondition(
+            constraints=(Constraint("build.manufacturer", CmpOp.EQ, "samsung"),),
+        )
+        spec = self._spec("11" * 20, inner=impossible)
+        run_payload(runtime, spec, [None, None])
+        assert runtime.detections == []
+        assert "bd" not in runtime.bombs.bombs_with("inner_met")
+
+    def test_code_digest_detection_via_stego(self):
+        """Digest comparison reads the stego-hidden Do from strings.xml."""
+        from repro.apk.stego import embed_in_cover
+        from repro.crypto import sha1
+
+        dex = assemble(APP_SOURCE)
+        key = RSAKeyPair.generate(seed=3)
+        cover = (
+            "thank you for installing this application we hope you enjoy "
+            "using it every single day and tell all your friends about it"
+        )
+        digest = sha1(serialize_dex(dex))[:8]
+        resources = Resources(
+            strings={"app_name": "A", "tag": embed_in_cover(cover, digest)}
+        )
+        apk = build_apk(dex, resources, key)
+        runtime = Runtime(apk.dex(), package=apk.install_view())
+        spec = PayloadSpec(
+            bomb_id="bg", payload_class="Bomb$bg", slots=0, app_name="A",
+            detection=DetectionSpec(
+                method=DetectionMethod.CODE_DIGEST, stego_key="tag", stego_digest_bytes=8
+            ),
+            response=ResponseKind.CRASH,
+        )
+        run_payload(runtime, spec, [None, None])  # genuine: no crash
+        assert runtime.detections == []
+
+    def test_code_scan_detection(self):
+        from repro.dex.hashing import method_instruction_hash
+
+        runtime, key, _ = installed_runtime()
+        target = runtime.find_method("A.on_key")
+        spec = PayloadSpec(
+            bomb_id="bs", payload_class="Bomb$bs", slots=0, app_name="A",
+            detection=DetectionSpec(
+                method=DetectionMethod.CODE_SCAN,
+                scan_target="A.on_key",
+                scan_expected_hex=method_instruction_hash(target),
+            ),
+            response=ResponseKind.CRASH,
+        )
+        run_payload(runtime, spec, [None, None])  # untouched: passes
+        # Now the attacker patches the method (code instrumentation).
+        target.instructions.insert(0, ins.const(0, 999))
+        target.invalidate()
+        with pytest.raises(VMCrash):
+            run_payload(runtime, spec, [None, None])
+        assert "bs" in runtime.detections
+
+
+class TestResponses:
+    def _detect_with(self, response, runtime):
+        spec = PayloadSpec(
+            bomb_id="br", payload_class="Bomb$br", slots=0, app_name="A",
+            detection=DetectionSpec(
+                method=DetectionMethod.PUBLIC_KEY, original_key_hex="22" * 20
+            ),
+            response=response,
+            null_target="A.anchor" if response is ResponseKind.NULL_STATIC else None,
+        )
+        return run_payload(runtime, spec, [None, None])
+
+    def test_warn_alerts_user(self):
+        runtime, _, _ = installed_runtime()
+        self._detect_with(ResponseKind.WARN, runtime)
+        assert any("repackaged" in message for kind, message in runtime.ui_effects)
+
+    def test_report_reaches_developer(self):
+        runtime, key, _ = installed_runtime()
+        self._detect_with(ResponseKind.REPORT, runtime)
+        assert len(runtime.reports) == 1
+        assert "key=" in runtime.reports[0]
+
+    def test_null_static_clears_reference(self):
+        runtime, _, _ = installed_runtime()
+        assert runtime.statics["A.anchor"] == 5
+        self._detect_with(ResponseKind.NULL_STATIC, runtime)
+        assert runtime.statics["A.anchor"] is None
+
+    def test_memory_leak_pins_allocation(self):
+        runtime, _, _ = installed_runtime()
+        self._detect_with(ResponseKind.MEMORY_LEAK, runtime)
+        leak = runtime.statics["Bomb$br.leak"]
+        assert isinstance(leak, list) and len(leak) > 10_000
+
+    def test_endless_loop_exhausts_budget(self):
+        runtime, _, _ = installed_runtime()
+        spec = PayloadSpec(
+            bomb_id="bl", payload_class="Bomb$bl", slots=0, app_name="A",
+            detection=DetectionSpec(
+                method=DetectionMethod.PUBLIC_KEY, original_key_hex="33" * 20
+            ),
+            response=ResponseKind.ENDLESS_LOOP,
+        )
+        from repro.dex.serializer import serialize_dex as ser
+
+        blob = ser(build_payload_dex(spec))
+        method = runtime.load_blob_method(blob, spec.entry)
+        with pytest.raises(BudgetExhausted):
+            runtime.interpreter.run(method, [[None, None]], budget=50_000)
+
+    def test_slowdown_costs_cycles_but_continues(self):
+        runtime, _, _ = installed_runtime()
+        before = runtime.cost_units
+        self._detect_with(ResponseKind.SLOWDOWN, runtime)
+        assert runtime.cost_units - before > 5_000

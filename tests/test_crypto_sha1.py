@@ -1,0 +1,73 @@
+"""SHA-1 against the hashlib oracle plus structural properties."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import Sha1, sha1, sha1_hex
+
+
+KNOWN_VECTORS = [
+    (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (b"2", "da4b9237bacccdf19c0760cab7aec4a8359010b0"),  # the paper's example digest
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS)
+def test_known_vectors(message, expected):
+    assert sha1_hex(message) == expected
+
+
+def test_paper_example_is_sha1_of_two():
+    # Section 3.2's obfuscated condition uses exactly sha1("2").
+    assert sha1_hex(b"2") == "da4b9237bacccdf19c0760cab7aec4a8359010b0"
+
+
+@given(st.binary(max_size=2048))
+def test_matches_hashlib(data):
+    assert sha1(data) == hashlib.sha1(data).digest()
+
+
+@given(st.binary(max_size=300), st.binary(max_size=300))
+def test_incremental_equals_oneshot(a, b):
+    incremental = Sha1()
+    incremental.update(a)
+    incremental.update(b)
+    assert incremental.digest() == sha1(a + b)
+
+
+@given(st.binary(min_size=60, max_size=70))
+def test_block_boundary_sizes(data):
+    # Straddles the 64-byte block boundary where padding bugs live.
+    assert sha1(data) == hashlib.sha1(data).digest()
+
+
+def test_digest_does_not_consume_state():
+    h = Sha1(b"hello")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b" world")
+    assert h.digest() == sha1(b"hello world")
+
+
+def test_copy_is_independent():
+    h = Sha1(b"abc")
+    clone = h.copy()
+    clone.update(b"def")
+    assert h.digest() == sha1(b"abc")
+    assert clone.digest() == sha1(b"abcdef")
+
+
+def test_update_rejects_non_bytes():
+    with pytest.raises(TypeError):
+        Sha1().update("text")
+
+
+def test_update_returns_self_for_chaining():
+    assert Sha1().update(b"a").update(b"b").digest() == sha1(b"ab")

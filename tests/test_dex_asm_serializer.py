@@ -1,0 +1,164 @@
+"""Assembler, disassembler and binary serializer round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dex import (
+    assemble,
+    assemble_method,
+    deserialize_dex,
+    disassemble,
+    serialize_dex,
+)
+from repro.dex.assembler import parse_literal
+from repro.dex.disassembler import format_literal
+from repro.errors import DexError, DexFormatError
+
+
+FULL_SOURCE = """
+.class Game
+.field score static 0
+.field name static "player one"
+.field blob static hex:DEADBEEF
+.field flag static true
+.field slot
+.method on_touch 2
+    const r2, 5           # a comment
+    if_eq r0, r2, @hit
+    switch r1, {1 -> @a, "s" -> @b, -3 -> @a}
+    return_void
+@hit:
+    sget r3, Game.score
+    add_lit r3, r3, 10
+    sput r3, Game.score
+    invoke r4, java.str.from_int, r3
+    invoke _, android.log.i, r4
+    return_void
+@a:
+    const r5, "with, comma and \\"quote\\""
+    return_void
+@b:
+    const r6, null
+    new_instance r7, Game
+    iput r6, r7, slot
+    iget r6, r7, slot
+    const r8, 3
+    new_array r9, r8
+    aput r8, r9, r6
+    aget r6, r9, r6
+    array_len r6, r9
+    neg r6, r6
+    not r6, r6
+    cmp r6, r6, r8
+    throw r5
+.end
+"""
+
+
+def test_full_roundtrip_text_and_binary():
+    dex = assemble(FULL_SOURCE)
+    text = disassemble(dex)
+    dex2 = assemble(text)
+    assert disassemble(dex2) == text
+    blob = serialize_dex(dex)
+    assert serialize_dex(deserialize_dex(blob)) == blob
+    assert disassemble(deserialize_dex(blob)) == text
+
+
+def test_assemble_method_infers_registers():
+    method = assemble_method("const r5, 1\nreturn r5", params=2)
+    assert method.registers == 6
+    assert method.params == 2
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "token,value",
+        [
+            ("42", 42),
+            ("-7", -7),
+            ("0x10", 16),
+            ("true", True),
+            ("false", False),
+            ("null", None),
+            ('"hi"', "hi"),
+            ('"a\\nb"', "a\nb"),
+            ("hex:00FF", b"\x00\xff"),
+        ],
+    )
+    def test_parse(self, token, value):
+        assert parse_literal(token) == value
+
+    def test_parse_bad_literal(self):
+        with pytest.raises(DexError):
+            parse_literal("@nope")
+
+    @given(
+        st.one_of(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.booleans(),
+            st.none(),
+            st.text(max_size=40),
+            st.binary(max_size=20),
+        )
+    )
+    def test_format_parse_roundtrip(self, value):
+        assert parse_literal(format_literal(value)) == value
+
+
+class TestAssemblerErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(DexError, match="unknown mnemonic"):
+            assemble_method("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(DexError, match="expects"):
+            assemble_method("const r1")
+
+    def test_undefined_label(self):
+        with pytest.raises(DexError):
+            assemble_method("goto @nowhere")
+
+    def test_unterminated_method(self):
+        with pytest.raises(DexError, match="unterminated"):
+            assemble(".class A\n.method m 0\nreturn_void\n")
+
+    def test_field_outside_class(self):
+        with pytest.raises(DexError):
+            assemble(".field x static 0")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(DexError, match="line 3"):
+            assemble(".class A\n.method m 0\nbogus r1\nreturn_void\n.end")
+
+
+class TestSerializerErrors:
+    def test_bad_magic(self):
+        with pytest.raises(DexFormatError, match="magic"):
+            deserialize_dex(b"NOPE" + b"\x00" * 10)
+
+    def test_truncated_blob(self):
+        blob = serialize_dex(assemble(".class A\n.method m 0\nreturn_void\n.end"))
+        with pytest.raises(DexFormatError):
+            deserialize_dex(blob[:-3])
+
+    def test_trailing_garbage(self):
+        blob = serialize_dex(assemble(".class A\n.method m 0\nreturn_void\n.end"))
+        with pytest.raises(DexFormatError, match="trailing"):
+            deserialize_dex(blob + b"junk")
+
+    def test_random_bytes_rejected(self):
+        with pytest.raises(DexFormatError):
+            deserialize_dex(b"RDEX\x00\x01\x00\x05" + b"\xff" * 40)
+
+
+@given(st.binary(min_size=8, max_size=64))
+def test_fuzzed_blobs_never_crash_uncontrolled(data):
+    # The class loader feeds attacker-influenced bytes here; only the
+    # library's own error type may escape.
+    try:
+        deserialize_dex(b"RDEX" + data)
+    except DexFormatError:
+        pass
+    except (UnicodeDecodeError, OverflowError, MemoryError):
+        pytest.fail("deserializer leaked a non-library exception")

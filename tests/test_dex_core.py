@@ -1,0 +1,170 @@
+"""Instruction model, method/class model, builder."""
+
+import pytest
+
+from repro.dex import DexClass, DexField, DexFile, DexMethod, Instr, Label, MethodBuilder, Op
+from repro.dex import instructions as ins
+from repro.errors import DexError
+
+
+class TestInstructionFactories:
+    def test_const_accepts_supported_literals(self):
+        for value in (0, -5, True, "text", b"\x00\x01", None):
+            assert ins.const(0, value).value == value
+
+    def test_const_rejects_unsupported(self):
+        with pytest.raises(DexError):
+            ins.const(0, 1.5)
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(DexError):
+            ins.move(-1, 0)
+
+    def test_branch_requires_label(self):
+        with pytest.raises(DexError):
+            Instr(Op.IF_EQ, a=0, b=1)
+
+    def test_switch_table_validation(self):
+        with pytest.raises(DexError):
+            ins.switch(0, {})
+        with pytest.raises(DexError):
+            ins.switch(0, {1: 7})
+        with pytest.raises(DexError):
+            ins.switch(0, {1.5: "lbl"})
+
+    def test_invoke_requires_qualified_name(self):
+        with pytest.raises(DexError):
+            ins.invoke(0, "unqualified")
+
+    def test_sget_requires_qualified_field(self):
+        with pytest.raises(DexError):
+            ins.sget(0, "bare")
+
+    def test_label_requires_name(self):
+        with pytest.raises(DexError):
+            Label("")
+
+
+class TestReadsWrites:
+    def test_binop_reads_sources_writes_dst(self):
+        instr = ins.binop(Op.ADD, 2, 0, 1)
+        assert set(instr.reads()) == {0, 1}
+        assert instr.writes() == (2,)
+
+    def test_aput_reads_value_index_and_array(self):
+        instr = ins.aput(src=3, arr=4, index=5)
+        assert set(instr.reads()) == {3, 4, 5}
+        assert instr.writes() == ()
+
+    def test_invoke_reads_args(self):
+        instr = ins.invoke(1, "A.m", (2, 3, 4))
+        assert set(instr.reads()) == {2, 3, 4}
+        assert instr.writes() == (1,)
+
+    def test_iput_writes_nothing(self):
+        assert ins.iput(0, 1, "f").writes() == ()
+
+
+class TestDexMethod:
+    def _method(self, instructions, registers=4):
+        return DexMethod("m", "C", params=1, registers=registers, instructions=instructions)
+
+    def test_label_map(self):
+        method = self._method([Label("a"), ins.ret_void(), Label("b")])
+        assert method.label_map() == {"a": 0, "b": 2}
+
+    def test_duplicate_label_rejected(self):
+        method = self._method([Label("a"), Label("a")])
+        with pytest.raises(DexError):
+            method.label_map()
+
+    def test_validate_checks_register_range(self):
+        method = self._method([ins.move(9, 0), ins.ret_void()])
+        with pytest.raises(DexError):
+            method.validate()
+
+    def test_validate_checks_targets(self):
+        method = self._method([ins.goto("nowhere")])
+        with pytest.raises(DexError):
+            method.validate()
+
+    def test_validate_checks_switch_targets(self):
+        method = self._method([ins.switch(0, {1: "missing"}), ins.ret_void()])
+        with pytest.raises(DexError):
+            method.validate()
+
+    def test_grow_registers(self):
+        method = self._method([ins.ret_void()])
+        first = method.grow_registers(3)
+        assert first == 4
+        assert method.registers == 7
+
+    def test_invalidate_refreshes_labels(self):
+        method = self._method([ins.ret_void()])
+        method.label_map()
+        method.instructions.insert(0, Label("new"))
+        method.invalidate()
+        assert "new" in method.label_map()
+
+    def test_real_instruction_count_excludes_labels(self):
+        method = self._method([Label("a"), ins.ret_void()])
+        assert method.real_instruction_count() == 1
+
+    def test_registers_must_cover_params(self):
+        with pytest.raises(DexError):
+            DexMethod("m", "C", params=3, registers=2)
+
+
+class TestDexFileModel:
+    def test_duplicate_class_rejected(self):
+        dex = DexFile()
+        dex.add_class(DexClass(name="A"))
+        with pytest.raises(DexError):
+            dex.add_class(DexClass(name="A"))
+
+    def test_get_method(self):
+        dex = DexFile()
+        cls = dex.add_class(DexClass(name="A"))
+        method = DexMethod("m", "A", 0, 1, [ins.ret_void()])
+        cls.add_method(method)
+        assert dex.get_method("A.m") is method
+        with pytest.raises(DexError):
+            dex.get_method("A.missing")
+
+    def test_method_class_ownership_enforced(self):
+        cls = DexClass(name="A")
+        with pytest.raises(DexError):
+            cls.add_method(DexMethod("m", "B", 0, 1, [ins.ret_void()]))
+
+    def test_event_handlers_sorted(self):
+        dex = DexFile()
+        cls = dex.add_class(DexClass(name="Z"))
+        cls.add_method(DexMethod("on_key", "Z", 1, 1, [ins.ret_void()]))
+        cls2 = dex.add_class(DexClass(name="A"))
+        cls2.add_method(DexMethod("on_touch", "A", 2, 2, [ins.ret_void()]))
+        names = [m.qualified_name for m in dex.event_handlers()]
+        assert names == ["A.on_touch", "Z.on_key"]
+
+
+class TestMethodBuilder:
+    def test_fluent_build(self):
+        builder = MethodBuilder("C", "m", params=1)
+        tmp = builder.reg()
+        builder.const(tmp, 41).add_lit(tmp, tmp, 1).ret(tmp)
+        method = builder.build()
+        assert method.registers == 2
+        assert method.real_instruction_count() == 3
+
+    def test_const_new_allocates(self):
+        builder = MethodBuilder("C", "m")
+        a = builder.const_new(1)
+        b = builder.const_new(2)
+        assert a != b
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DexError):
+            MethodBuilder("C", "m").build()
+
+    def test_fresh_labels_unique(self):
+        builder = MethodBuilder("C", "m")
+        assert builder.fresh_label() != builder.fresh_label()

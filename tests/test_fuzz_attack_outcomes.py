@@ -1,0 +1,44 @@
+"""FuzzingAttack bookkeeping: rates, curves, harvesting across restarts."""
+
+import pytest
+
+from repro.attacks import FuzzingAttack
+from repro.attacks.fuzzing import FuzzAttackOutcome
+
+
+@pytest.fixture(scope="module")
+def outcome(protected_apk, protection_report):
+    attack = FuzzingAttack(duration_seconds=300.0, seed=77)
+    bomb_ids = [bomb.bomb_id for bomb in protection_report.real_bombs()]
+    return attack.run_one(protected_apk, "dynodroid", bomb_ids), bomb_ids
+
+
+class TestOutcome:
+    def test_rates_bounded(self, outcome):
+        result, bomb_ids = outcome
+        assert 0.0 <= result.fully_triggered_rate <= result.outer_satisfied_rate <= 1.0
+        assert result.total_bombs == len(bomb_ids)
+
+    def test_curve_monotonic(self, outcome):
+        result, _ = outcome
+        counts = [count for _, count in result.trigger_curve]
+        assert counts == sorted(counts)
+
+    def test_events_played_positive(self, outcome):
+        result, _ = outcome
+        assert result.events_played > 100
+
+    def test_attack_result_wrapper(self, outcome):
+        result, _ = outcome
+        attack = FuzzingAttack(duration_seconds=60.0, seed=77)
+        wrapped = attack.as_attack_result(result)
+        assert "outer conditions satisfied" in wrapped.notes
+        assert wrapped.details["outer_satisfied_rate"] == result.outer_satisfied_rate
+
+
+def test_run_all_covers_every_fuzzer(protected_apk, protection_report):
+    attack = FuzzingAttack(duration_seconds=60.0, seed=78)
+    bomb_ids = [bomb.bomb_id for bomb in protection_report.real_bombs()]
+    outcomes = attack.run_all(protected_apk, bomb_ids)
+    assert set(outcomes) == {"monkey", "puma", "androidhooker", "dynodroid"}
+    assert all(isinstance(o, FuzzAttackOutcome) for o in outcomes.values())

@@ -1,0 +1,79 @@
+"""The full paper story as one integration test per act."""
+
+import pytest
+
+from repro import BombDroid, BombDroidConfig, build_named_app, repackage
+from repro.attacks import FuzzingAttack, SymbolicAttack
+from repro.crypto import RSAKeyPair
+from repro.errors import VMError
+from repro.fuzzing import DynodroidGenerator
+from repro.userside import DetectionAggregator, AggregatedVerdict
+from repro.vm import DevicePopulation, Runtime
+
+
+@pytest.fixture(scope="module")
+def story():
+    """Build -> protect -> pirate, once for the whole module."""
+    bundle = build_named_app("Angulo", scale=0.5)
+    config = BombDroidConfig(seed=13, profiling_events=600)
+    protected, report = BombDroid(config).protect(bundle.apk, bundle.developer_key)
+    attacker = RSAKeyPair.generate(seed=1313)
+    pirated = repackage(protected, attacker)
+    return bundle, protected, report, attacker, pirated
+
+
+def test_act1_protection_preserves_the_app(story):
+    bundle, protected, report, _, _ = story
+    assert report.total_injected >= 5
+    runtime = Runtime(protected.dex(), package=protected.install_view(), seed=2)
+    runtime.boot()
+    for event in DynodroidGenerator(protected.dex(), seed=2).stream(400):
+        runtime.dispatch(event)
+    assert not runtime.detections
+
+
+def test_act2_attacker_analysis_stalls(story):
+    bundle, protected, report, _, _ = story
+    symbolic = SymbolicAttack(max_paths=32, max_steps=1500).run(protected)
+    assert not symbolic.defeated_defense
+    assert symbolic.details["hash_walls"] > 0
+
+    fuzz = FuzzingAttack(duration_seconds=600, seed=3)
+    outcome = fuzz.run_one(
+        protected, "dynodroid", [b.bomb_id for b in report.real_bombs()]
+    )
+    # Some outer conditions fire in the lab; full double triggers are rare.
+    assert outcome.fully_triggered_rate < 0.5
+
+
+def test_act3_users_catch_the_pirate(story):
+    bundle, _, report, attacker, pirated = story
+    aggregator = DetectionAggregator(
+        app_name=bundle.name,
+        original_key_hex=bundle.developer_key.public.fingerprint().hex(),
+        report_threshold=1,
+    )
+    population = DevicePopulation(seed=4)
+    detections = 0
+    for index in range(8):
+        runtime = Runtime(
+            pirated.dex(),
+            device=population.sample(),
+            package=pirated.install_view(),
+            seed=index,
+        )
+        try:
+            runtime.boot()
+        except VMError:
+            pass
+        for event in DynodroidGenerator(pirated.dex(), seed=index).stream(1500):
+            try:
+                runtime.dispatch(event)
+            except VMError:
+                pass
+        detections += bool(runtime.detections)
+        aggregator.ingest_session(runtime)
+    assert detections >= 2
+    verdict, key = aggregator.verdict()
+    if verdict is not AggregatedVerdict.CLEAN:
+        assert key == attacker.public.fingerprint().hex()

@@ -1,0 +1,105 @@
+"""Supplemental coverage: analyst attack, idoms, codegen knobs, events."""
+
+import random
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import immediate_dominators
+from repro.attacks import HumanAnalystAttack
+from repro.corpus.codegen import AppPlan, HANDLER_PARAM_TYPES, MethodGenerator
+from repro.dex import assemble_method
+from repro.vm.events import Event, EventKind
+
+
+class TestHumanAnalyst:
+    def test_sessions_accumulate_and_report(self, protected_apk, protection_report):
+        attack = HumanAnalystAttack(seed=3, total_hours=0.1, session_minutes=2.0)
+        result = attack.run(protected_apk, total_bombs=len(protection_report.real_bombs()))
+        assert result.details["sessions"] == 3  # 6 minutes / 2-minute sessions
+        assert 0.0 <= result.details["fraction_triggered"] <= 1.0
+
+    def test_mutation_actually_changes_environment(self):
+        from repro.vm.device import attacker_lab_profiles
+
+        device = attacker_lab_profiles(1)[0]
+        before = dict(device.env)
+        HumanAnalystAttack._mutate_environment(device, random.Random(1))
+        assert device.env != before or device.clock > 0
+
+
+class TestImmediateDominators:
+    def test_diamond(self):
+        method = assemble_method(
+            """
+            if_ge r0, r0, @right
+            const r1, 1
+            goto @join
+        @right:
+            const r1, 2
+        @join:
+            return r1
+            """,
+            params=1,
+        )
+        cfg = build_cfg(method)
+        idom = immediate_dominators(cfg)
+        assert idom[0] is None
+        join = cfg.block_of(method.resolve("join")).index
+        assert idom[join] == 0  # the entry, not either arm
+
+    def test_chain(self):
+        method = assemble_method("const r0, 1\nreturn r0")
+        cfg = build_cfg(method)
+        assert immediate_dominators(cfg)[0] is None
+
+
+class TestCodegenKnobs:
+    def _plan(self, seed=0):
+        return AppPlan(
+            rng=random.Random(seed),
+            class_names=["C"],
+            int_fields=["C.x"],
+            str_fields=["C.s"],
+            env_quota=2,
+            qc_quota=50,
+        )
+
+    def test_force_qcs_emits_that_many(self):
+        plan = self._plan()
+        generator = MethodGenerator(plan)
+        generator.generate("C", "m", ["int"], target_length=10, force_qcs=5)
+        assert plan.qcs_emitted >= 5
+
+    def test_handler_param_types_cover_all_kinds(self):
+        assert set(HANDLER_PARAM_TYPES) == set(EventKind)
+
+    def test_generated_method_validates(self):
+        plan = self._plan(seed=9)
+        generator = MethodGenerator(plan)
+        for kind in EventKind:
+            method = generator.generate(
+                "C", f"on_{kind.value}", HANDLER_PARAM_TYPES[kind], target_length=40
+            )
+            method.validate()
+
+    def test_returns_int_ends_with_return_value(self):
+        from repro.dex.opcodes import Op
+
+        plan = self._plan(seed=2)
+        method = MethodGenerator(plan).generate(
+            "C", "calc", ["int"], target_length=20, returns_int=True
+        )
+        assert method.instructions[-1].op is Op.RETURN
+
+
+class TestEventModel:
+    def test_handler_property(self):
+        event = Event(EventKind.MENU, "Shop", (3,))
+        assert event.handler == "Shop.on_menu"
+
+    def test_events_hashable_and_comparable(self):
+        a = Event(EventKind.BACK, "A")
+        b = Event(EventKind.BACK, "A")
+        assert a == b
+        assert hash(a) == hash(b)

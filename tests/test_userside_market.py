@@ -1,0 +1,94 @@
+"""The market model: ratings gate downloads, takedowns propagate."""
+
+import pytest
+
+from repro.userside import AggregatedVerdict, DetectionAggregator, Market
+
+
+@pytest.fixture()
+def market():
+    return Market(seed=5)
+
+
+def test_publish_and_download(market, small_apk):
+    listing = market.publish("Game", small_apk)
+    installs = sum(
+        1 for i in range(60) if market.download(f"user-{i}", listing) is not None
+    )
+    # Neutral 3-star default: roughly half the visitors install.
+    assert 15 <= installs <= 55
+    assert listing.downloads == installs
+
+
+def test_bad_ratings_depress_downloads(market, small_apk, pirated_apk):
+    good = market.publish("Game", small_apk)
+    bad = market.publish("Game (free!)", pirated_apk)
+    for _ in range(30):
+        market.rate(good, 5)
+        market.rate(bad, 1)
+    good_installs = sum(
+        1 for i in range(100) if market.download(f"g{i}", good) is not None
+    )
+    bad_installs = sum(
+        1 for i in range(100) if market.download(f"b{i}", bad) is not None
+    )
+    assert good_installs > bad_installs * 2
+
+
+def test_rating_bounds(market, small_apk):
+    listing = market.publish("Game", small_apk)
+    with pytest.raises(ValueError):
+        market.rate(listing, 6)
+
+
+def test_takedown_removes_remotely(market, small_apk, pirated_apk, attacker_key, developer_key):
+    pirated_listing = market.publish("Game (free!)", pirated_apk)
+    for index in range(40):
+        market.download(f"victim-{index}", pirated_listing)
+    installed_before = market.active_installs(pirated_listing)
+    assert installed_before > 0
+
+    aggregator = DetectionAggregator(
+        app_name="Game",
+        original_key_hex=developer_key.public.fingerprint().hex(),
+        report_threshold=2,
+    )
+    offender = attacker_key.public.fingerprint().hex()
+    aggregator.ingest_report(f"repackaged:Game:b001:key={offender}")
+    aggregator.ingest_report(f"repackaged:Game:b002:key={offender}")
+    assert aggregator.verdict()[0] is AggregatedVerdict.TAKEDOWN
+
+    pulled = market.process_takedown_request(aggregator)
+    assert pulled is pirated_listing
+    assert pirated_listing.taken_down
+    # Remote Application Removal: every install wiped.
+    assert market.active_installs(pirated_listing) == 0
+    # And nobody can download it anymore.
+    assert market.download("late-user", pirated_listing) is None
+
+
+def test_takedown_needs_matching_listing(market, small_apk, developer_key):
+    aggregator = DetectionAggregator(
+        app_name="Game",
+        original_key_hex=developer_key.public.fingerprint().hex(),
+        report_threshold=1,
+    )
+    aggregator.ingest_report(f"r:key={'cc' * 20}")
+    assert market.process_takedown_request(aggregator) is None
+
+
+def test_suspect_verdict_takes_no_action(market, pirated_apk, attacker_key, developer_key):
+    listing = market.publish("Game (free!)", pirated_apk)
+    aggregator = DetectionAggregator(
+        app_name="Game",
+        original_key_hex=developer_key.public.fingerprint().hex(),
+        report_threshold=5,
+    )
+    aggregator.ingest_report(f"r:key={attacker_key.public.fingerprint().hex()}")
+    assert market.process_takedown_request(aggregator) is None
+    assert not listing.taken_down
+
+
+def test_summary_readable(market, small_apk):
+    market.publish("Game", small_apk)
+    assert "downloads" in market.summary()
