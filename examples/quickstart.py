@@ -24,6 +24,16 @@ def main() -> None:
     print(report.summary())
     print(f"  size increase: {report.size_increase:.1%}")
 
+    # 2b. The verifier + stealth lint confirm the surgery left a
+    #     well-formed app that leaks none of the defense's secrets.
+    from repro.lint import errors, run_lint
+
+    diagnostics = run_lint(protected.dex(), report=report)
+    if errors(diagnostics):
+        raise SystemExit("\n".join(d.format() for d in errors(diagnostics)))
+    print(f"lint: 0 errors across {sum(1 for _ in protected.dex().iter_methods())} "
+          f"methods ({len(diagnostics)} advisory diagnostics)")
+
     # 3. The protected app behaves exactly like the original for real users.
     runtime = Runtime(protected.dex(), package=protected.install_view(), seed=7)
     runtime.boot()

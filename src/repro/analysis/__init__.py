@@ -23,6 +23,12 @@ from repro.analysis.regions import body_region, region_is_weavable
 from repro.analysis.entropy import FieldValueProfiler, FieldHistory
 from repro.analysis.profiler import HotMethodProfile, profile_hot_methods
 from repro.analysis.slicing import backward_slice
+from repro.analysis.verifier import (
+    RegType,
+    VERIFIER_RULES,
+    verify_dex,
+    verify_method,
+)
 
 __all__ = [
     "BasicBlock",
@@ -44,4 +50,8 @@ __all__ = [
     "HotMethodProfile",
     "profile_hot_methods",
     "backward_slice",
+    "RegType",
+    "VERIFIER_RULES",
+    "verify_dex",
+    "verify_method",
 ]

@@ -108,7 +108,6 @@ def build_cfg(method: DexMethod) -> ControlFlowGraph:
             raise AnalysisError(f"branch target pc {pc} is not a leader") from None
 
     for block in blocks:
-        last_pc = block.end - 1
         # Find the last *real* instruction of the block (trailing labels
         # only happen in empty tail blocks).
         terminator: Optional[int] = None

@@ -89,16 +89,26 @@ def live_registers_for_region(
 
     Registers referenced only as region-internal temporaries are
     excluded -- they get payload-local storage but no array slot.
+
+    The join is taken at the region's actual exits: a region that
+    leaves through a GOTO (or ends in a RETURN) contributes the
+    liveness of the *target* pc, not of whatever instruction happens to
+    sit at ``end`` textually.
     """
     live_in, _ = liveness(method)
+    successors = instruction_successors(method)
     entry_live = set(live_in[start]) if start < len(live_in) else set()
 
     writes: Set[int] = set()
     reads: Set[int] = set()
-    for instr in method.instructions[start:end]:
+    join_live: Set[int] = set()
+    for pc in range(start, min(end, len(method.instructions))):
+        instr = method.instructions[pc]
         reads |= set(instr.reads())
         writes |= set(instr.writes())
+        for successor in successors[pc]:
+            if not start <= successor < end:
+                join_live |= live_in[successor]
 
-    join_live = set(live_in[end]) if end < len(live_in) else set()
     referenced = reads | writes
     return referenced & (entry_live | (writes & join_live))

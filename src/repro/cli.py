@@ -5,6 +5,7 @@
     python -m repro build     --name AndroFish --out app.apk
     python -m repro protect   --in app.apk --out protected.apk --key-seed 11
     python -m repro inspect   --in protected.apk [--disassemble]
+    python -m repro lint      --in protected.apk [--json] [--rules a,b]
     python -m repro repackage --in protected.apk --out pirated.apk --key-seed 666
     python -m repro simulate  --in pirated.apk --devices 10 --events 600
     python -m repro attack    --in protected.apk --attack symbolic
@@ -18,7 +19,7 @@ from __future__ import annotations
 import argparse
 import struct
 import sys
-from typing import List
+from typing import List, Optional
 
 from repro.apk.manifest import Manifest
 from repro.apk.package import Apk
@@ -122,7 +123,7 @@ def _cmd_protect(args) -> int:
         double_trigger=not args.single_trigger,
         mute_after_detection=args.mute,
     )
-    protected, report = BombDroid(config).protect(apk, key)
+    protected, report = BombDroid(config).protect(apk, key, strict=args.strict)
     _save_with_manifest(protected, args.out)
     print(report.summary())
     print(f"size increase: {report.size_increase:+.1%} -> {args.out}")
@@ -154,6 +155,38 @@ def _cmd_inspect(args) -> int:
 
         print(disassemble(dex))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.lint import RULES, errors, format_report, run_lint, sort_diagnostics
+    from repro.analysis.verifier import VERIFIER_RULES
+
+    if args.list_rules:
+        for rule_id, (severity, description) in sorted(VERIFIER_RULES.items()):
+            print(f"{rule_id:22} {severity.name.lower():8} verifier  {description}")
+        for rule in RULES.values():
+            print(
+                f"{rule.id:22} {rule.severity.name.lower():8} "
+                f"{rule.paper_ref:9} {rule.description}"
+            )
+        return 0
+    if getattr(args, "in") is None:
+        print("error: --in is required (or use --list-rules)", file=sys.stderr)
+        return 2
+    apk = load_apk(getattr(args, "in"))
+    rules = [r for r in args.rules.split(",") if r] if args.rules else None
+    try:
+        diagnostics = run_lint(apk.dex(), rules=rules)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([d.to_dict() for d in sort_diagnostics(diagnostics)], indent=2))
+    else:
+        print(format_report(diagnostics))
+    return 1 if errors(diagnostics) else 0
 
 
 def _cmd_repackage(args) -> int:
@@ -250,12 +283,27 @@ def build_parser() -> argparse.ArgumentParser:
     protect.add_argument("--single-trigger", action="store_true")
     protect.add_argument("--mute", action="store_true",
                          help="strategic muting after first detection")
+    protect.add_argument("--strict", action="store_true",
+                         help="refuse to emit an app with error-severity "
+                              "verifier/lint diagnostics")
     protect.set_defaults(func=_cmd_protect)
 
     inspect = sub.add_parser("inspect", help="summarize / disassemble an APK")
     inspect.add_argument("--in", required=True)
     inspect.add_argument("--disassemble", action="store_true")
     inspect.set_defaults(func=_cmd_inspect)
+
+    lint = sub.add_parser(
+        "lint", help="bytecode verifier + bomb-stealth lint over an APK"
+    )
+    lint.add_argument("--in", default=None)
+    lint.add_argument("--json", action="store_true",
+                      help="emit diagnostics as a JSON array")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated stealth rule ids (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     repack = sub.add_parser("repackage", help="the adversary's pipeline")
     repack.add_argument("--in", required=True)
@@ -282,7 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
 

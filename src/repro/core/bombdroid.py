@@ -58,16 +58,24 @@ _DEFAULT_COVER = (
 class BombDroid:
     """The protection pipeline."""
 
-    def __init__(self, config: BombDroidConfig = None) -> None:
+    def __init__(self, config: Optional[BombDroidConfig] = None) -> None:
         self.config = config or BombDroidConfig()
 
     # ------------------------------------------------------------------
 
-    def protect(self, apk: Apk, developer_key: RSAKeyPair) -> Tuple[Apk, InstrumentationReport]:
+    def protect(
+        self, apk: Apk, developer_key: RSAKeyPair, strict: bool = False
+    ) -> Tuple[Apk, InstrumentationReport]:
         """Protect ``apk``; the result is re-signed with ``developer_key``.
 
         The input APK must be signed by the same developer: its public
         key is what the bombs will treat as genuine.
+
+        With ``strict=True`` the instrumented bytecode is run through
+        the verifier and the stealth lint suite before packaging, and
+        :class:`repro.errors.VerificationError` is raised if any
+        error-severity diagnostic fires -- a corrupted or detectable
+        app is never emitted.
         """
         config = self.config
         rng = random.Random(config.seed)
@@ -128,12 +136,40 @@ class BombDroid:
 
         dex.validate()
 
+        # -- step 3c: verification gate -------------------------------------------
+        if strict:
+            self._strict_gate(dex, report, entropy)
+
         # -- step 4: packaging ---------------------------------------------------
         new_resources = self._embed_digest(dex, resources)
         protected = build_apk(dex, new_resources, developer_key)
         report.size_after = protected.total_size()
         report.instructions_after = dex.instruction_count()
         return protected, report
+
+    @staticmethod
+    def _strict_gate(dex: DexFile, report: InstrumentationReport, entropy) -> None:
+        """Refuse to emit an app with error-severity diagnostics.
+
+        Imported lazily: repro.lint depends on repro.analysis, and this
+        keeps repro.core import-light for callers that never gate.
+        """
+        from repro.errors import VerificationError
+        from repro.lint import errors, run_lint
+
+        field_entropy = {
+            history.name: history.unique_count
+            for history in entropy.histories.values()
+        }
+        diagnostics = run_lint(dex, report=report, field_entropy=field_entropy)
+        failures = errors(diagnostics)
+        if failures:
+            preview = "; ".join(diag.format() for diag in failures[:5])
+            raise VerificationError(
+                f"strict mode: {len(failures)} error-severity diagnostic(s) "
+                f"after instrumentation: {preview}",
+                diagnostics=failures,
+            )
 
     @staticmethod
     def _install_mute_flag(dex: DexFile) -> str:

@@ -117,7 +117,7 @@ class Instrumenter:
         original_key_hex: str,
         scan_targets: Sequence[Tuple[str, str]] = (),
         app_static_fields: Sequence[str] = (),
-        mute_flag: str = None,
+        mute_flag: Optional[str] = None,
     ) -> None:
         self._dex = dex
         self._config = config
@@ -343,12 +343,14 @@ class Instrumenter:
             match_exit_label=region.exit_label,
         )
         editor.splice(first_pc, region.end, block)
-        if qc.const_removable and qc.const_def_pc is not None:
+        erased = qc.const_removable and qc.const_def_pc is not None
+        if erased:
             editor.nop(qc.const_def_pc)
         method.validate()
         return self._record(
             materials, method, qc, real, woven=True, detection=detection,
-            response=response, inner=inner,
+            response=response, inner=inner, const_erased=erased,
+            packed_regs=tuple(packed),
         )
 
     def transform_payload_only(
@@ -396,16 +398,17 @@ class Instrumenter:
         # In the payload-only string shape the compare INVOKE survives
         # (only the zero-test branch was replaced), so the constant
         # register is still consumed there.
-        if (
+        erased = (
             qc.const_removable
             and qc.const_def_pc is not None
             and qc.compare_pc is None
-        ):
+        )
+        if erased:
             editor.nop(qc.const_def_pc)
         method.validate()
         return self._record(
             materials, method, qc, real, woven=False, detection=detection,
-            response=response, inner=inner,
+            response=response, inner=inner, const_erased=erased,
         )
 
     def _transform_switch(
@@ -465,6 +468,7 @@ class Instrumenter:
         return self._record(
             materials, method, qc, real, woven=region is not None,
             detection=detection, response=response, inner=inner,
+            packed_regs=tuple(packed),
         )
 
     def insert_artificial(
@@ -520,6 +524,8 @@ class Instrumenter:
         detection,
         response,
         inner: Optional[InnerCondition],
+        const_erased: bool = False,
+        packed_regs: Tuple[int, ...] = (),
     ) -> Bomb:
         return Bomb(
             bomb_id=materials.bomb_id,
@@ -535,6 +541,8 @@ class Instrumenter:
             response=response,
             inner_description=inner.describe() if (inner and real) else "",
             inner_probability=inner.probability() if (inner and real) else 1.0,
+            const_erased=const_erased,
+            packed_regs=packed_regs,
         )
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.qualified_conditions import Strength
 from repro.core.config import DetectionMethod, ResponseKind
@@ -40,6 +40,12 @@ class Bomb:
     response: Optional[ResponseKind]
     inner_description: str = ""      # human-readable inner condition
     inner_probability: float = 1.0   # P(inner met on a random device)
+    #: True when the defining CONST of c was erased from the method --
+    #: the lint rule ``leaked-trigger-const`` asserts it stays gone.
+    const_erased: bool = False
+    #: Caller registers travelling through the payload array, in slot
+    #: order -- the liveness result ``live-set-mismatch`` re-checks.
+    packed_regs: Tuple[int, ...] = ()
 
     @property
     def is_real(self) -> bool:

@@ -83,6 +83,14 @@ class DexMethod:
         """Drop cached label resolution after mutating ``instructions``."""
         self._labels = None
 
+    def label_cache(self) -> Optional[Dict[str, int]]:
+        """The cached label map as-is, or None when invalidated.
+
+        Unlike :meth:`label_map` this never recomputes -- the verifier
+        uses it to detect a cache that survived a structural edit.
+        """
+        return self._labels
+
     def resolve(self, label: str) -> int:
         """Index of the instruction labelled ``label``."""
         try:

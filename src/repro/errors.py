@@ -78,6 +78,19 @@ class InstrumentationError(ReproError):
     """BombDroid could not transform the app."""
 
 
+class VerificationError(InstrumentationError):
+    """Strict-mode gate: the protected app failed verification or lint.
+
+    Raised by ``BombDroid.protect(..., strict=True)`` when the verifier
+    or a stealth lint rule reports error-severity diagnostics; the
+    ``diagnostics`` attribute carries the findings.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
 class AttackError(ReproError):
     """An adversary analysis failed in an unexpected way."""
 

@@ -1,0 +1,50 @@
+"""Bomb-stealth lint framework.
+
+Layer 2 of the static-analysis subsystem: paper-grounded rules that
+check a protected app does not leak the artifacts the defense depends
+on hiding (trigger constants, detection APIs, salt reuse, placement
+violations), layered on top of the bytecode verifier (layer 1,
+:mod:`repro.analysis.verifier`).
+
+Public API::
+
+    from repro.lint import run_lint, Severity, errors
+    diagnostics = run_lint(apk.dex(), report=report)
+    if errors(diagnostics):
+        ...refuse to ship...
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    errors,
+    format_report,
+    max_severity,
+    sort_diagnostics,
+)
+from repro.lint.engine import DEFAULT_MIN_QC_ENTROPY, LintContext, run_lint, selected_rules
+from repro.lint.rules import (
+    PLAINTEXT_DETECTION_APIS,
+    RULES,
+    BombSite,
+    Rule,
+    bomb_sites,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "errors",
+    "format_report",
+    "max_severity",
+    "sort_diagnostics",
+    "DEFAULT_MIN_QC_ENTROPY",
+    "LintContext",
+    "run_lint",
+    "selected_rules",
+    "PLAINTEXT_DETECTION_APIS",
+    "RULES",
+    "BombSite",
+    "Rule",
+    "bomb_sites",
+]

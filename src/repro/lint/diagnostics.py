@@ -1,0 +1,104 @@
+"""Structured diagnostics shared by the verifier and the lint engine.
+
+A :class:`Diagnostic` is one finding: a stable rule id, a severity, the
+method it anchors to (or None for app-level findings), an optional pc
+span ``[start, end)`` into the method's instruction list, and a
+human-readable message.  Both layers of the static-analysis subsystem
+-- the bytecode verifier (:mod:`repro.analysis.verifier`) and the
+stealth lint rules (:mod:`repro.lint.rules`) -- emit this shape, so
+callers can gate, sort and render findings uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is meaningful (gates compare >=)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier or lint finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    method: Optional[str] = None          # qualified method name
+    span: Optional[Tuple[int, int]] = None  # pc range [start, end)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    @property
+    def location(self) -> str:
+        """``Class.method@pc`` (or as much of it as is known)."""
+        if self.method is None:
+            return "<app>"
+        if self.span is None:
+            return self.method
+        start, end = self.span
+        if end - start <= 1:
+            return f"{self.method}@{start}"
+        return f"{self.method}@{start}-{end - 1}"
+
+    def format(self) -> str:
+        return f"{self.severity.name.lower()}[{self.rule}] {self.location}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (``repro lint --json``)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "method": self.method,
+            "span": list(self.span) if self.span is not None else None,
+            "message": self.message,
+        }
+
+
+def errors(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The error-severity subset, original order preserved."""
+    return [diag for diag in diagnostics if diag.is_error]
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """Highest severity present, or None for an empty run."""
+    best: Optional[Severity] = None
+    for diag in diagnostics:
+        if best is None or diag.severity > best:
+            best = diag.severity
+    return best
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable render order: errors first, then by location, then rule."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            -int(d.severity),
+            d.method or "",
+            d.span or (-1, -1),
+            d.rule,
+        ),
+    )
+
+
+def format_report(diagnostics: Iterable[Diagnostic]) -> str:
+    """Multi-line human-readable report with a one-line summary."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = [diag.format() for diag in ordered]
+    error_count = sum(1 for diag in ordered if diag.is_error)
+    warning_count = sum(1 for diag in ordered if diag.severity is Severity.WARNING)
+    lines.append(f"{error_count} error(s), {warning_count} warning(s)")
+    return "\n".join(lines)

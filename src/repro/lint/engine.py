@@ -1,0 +1,98 @@
+"""The lint engine: verifier pass + stealth rules over one protected app.
+
+``run_lint(dex)`` is the whole entry point::
+
+    from repro.lint import run_lint, errors
+    diagnostics = run_lint(apk.dex(), report=report)
+    assert not errors(diagnostics)
+
+The engine always runs the bytecode verifier
+(:mod:`repro.analysis.verifier`) first -- a structurally broken method
+makes every stealth question moot -- then each registered rule from
+:mod:`repro.lint.rules`.  The report and entropy arguments are
+optional: with them the rules cross-check the bytecode against the
+instrumentation ground truth; without them (e.g. ``repro lint`` over an
+APK from disk) the rules fall back to what the bytecode alone reveals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dex.model import DexFile, DexMethod
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import RULES, BombSite, Rule, bomb_sites
+
+#: Figure 3 threshold: an artificial QC field should have at least this
+#: many profiled unique values, or its outer trigger fires predictably.
+DEFAULT_MIN_QC_ENTROPY = 4
+
+
+@dataclass
+class LintContext:
+    """Shared state handed to every rule."""
+
+    dex: DexFile
+    #: Instrumentation ground truth (``InstrumentationReport``), if the
+    #: caller has one; duck-typed to keep lint import-free of repro.core.
+    report: Optional[Any] = None
+    #: Profiled unique-value count per static field, for ``low-entropy-qc``.
+    field_entropy: Optional[Dict[str, int]] = None
+    min_qc_entropy: int = DEFAULT_MIN_QC_ENTROPY
+    _sites: Optional[List[BombSite]] = field(default=None, repr=False)
+
+    def sites(self) -> List[BombSite]:
+        """Recovered bomb sites, computed once per run."""
+        if self._sites is None:
+            self._sites = bomb_sites(self.dex)
+        return self._sites
+
+    def sites_by_method(self) -> List[Tuple[DexMethod, List[BombSite]]]:
+        grouped: Dict[str, Tuple[DexMethod, List[BombSite]]] = {}
+        for site in self.sites():
+            entry = grouped.setdefault(site.method.qualified_name, (site.method, []))
+            entry[1].append(site)
+        return [grouped[name] for name in sorted(grouped)]
+
+
+def run_lint(
+    dex: DexFile,
+    report: Optional[Any] = None,
+    field_entropy: Optional[Dict[str, int]] = None,
+    rules: Optional[Sequence[str]] = None,
+    include_verifier: bool = True,
+    min_qc_entropy: int = DEFAULT_MIN_QC_ENTROPY,
+) -> List[Diagnostic]:
+    """Run the verifier and the (selected) lint rules over ``dex``.
+
+    ``rules`` restricts the stealth pass to the given rule ids;
+    ``include_verifier=False`` skips the bytecode verifier (useful when
+    the caller already ran it).
+    """
+    # Imported at call time: the verifier itself emits Diagnostics, so a
+    # module-level import would cycle through this package's __init__.
+    from repro.analysis.verifier import verify_dex
+
+    diagnostics: List[Diagnostic] = []
+    if include_verifier:
+        diagnostics.extend(verify_dex(dex))
+    context = LintContext(
+        dex=dex,
+        report=report,
+        field_entropy=field_entropy,
+        min_qc_entropy=min_qc_entropy,
+    )
+    for rule in selected_rules(rules):
+        diagnostics.extend(rule.check(context))
+    return diagnostics
+
+
+def selected_rules(rules: Optional[Sequence[str]] = None) -> Iterable[Rule]:
+    """The registered rules to run, validating unknown ids early."""
+    if rules is None:
+        return list(RULES.values())
+    unknown = [rule_id for rule_id in rules if rule_id not in RULES]
+    if unknown:
+        raise KeyError(f"unknown lint rule(s): {', '.join(sorted(unknown))}")
+    return [RULES[rule_id] for rule_id in rules]

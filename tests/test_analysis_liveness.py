@@ -67,6 +67,54 @@ class TestLiveness:
         successors = instruction_successors(method)
         assert set(successors[0]) == {method.resolve("a"), 1}
 
+    def test_switch_fans_out_to_every_case(self):
+        # A three-way switch has four successors: each case label plus
+        # the fall-through default.
+        method = method_of(
+            """
+            switch r0, {1 -> @a, 2 -> @b, 3 -> @c}
+            return_void
+        @a:
+            return_void
+        @b:
+            return_void
+        @c:
+            return_void
+            """
+        )
+        successors = instruction_successors(method)
+        expected = {method.resolve(name) for name in ("a", "b", "c")} | {1}
+        assert set(successors[0]) == expected
+
+    def test_switch_merges_liveness_from_all_cases(self):
+        # Each case reads a different register; all of them (plus the
+        # scrutinee) must be live into the switch.
+        method = method_of(
+            """
+            switch r0, {1 -> @a, 2 -> @b}
+            return_void
+        @a:
+            return r1
+        @b:
+            return r2
+            """,
+            params=3,
+        )
+        live_in, _ = liveness(method)
+        assert live_in[0] == {0, 1, 2}
+
+    def test_return_keeps_only_returned_register_live(self):
+        method = method_of("add r2, r0, r1\nreturn r2", params=2)
+        live_in, live_out = liveness(method)
+        assert live_in[1] == {2}
+        assert live_out[1] == set()
+
+    def test_return_void_kills_everything(self):
+        method = method_of("add r2, r0, r1\nreturn_void", params=2)
+        live_in, live_out = liveness(method)
+        assert live_in[1] == set()
+        assert live_out[1] == set()
+
 
 class TestRegionPacking:
     def test_temporary_excluded(self):
@@ -112,6 +160,44 @@ class TestRegionPacking:
         live = live_registers_for_region(method, 2, 4)
         assert 0 in live
         assert 2 not in live  # written and consumed inside
+
+    def test_region_ending_in_unconditional_exit(self):
+        # A woven region whose last instruction is a RETURN never
+        # reaches the join, so only the returned register (not every
+        # register the region writes) must travel out.
+        method = method_of(
+            """
+            const r1, 3
+            if_ne r0, r1, @skip
+            add_lit r2, r0, 1
+            add_lit r3, r0, 2
+            return r2
+        @skip:
+            return_void
+            """
+        )
+        live = live_registers_for_region(method, 2, 5)
+        assert 0 in live      # read by the region
+        assert 2 not in live  # consumed by the region's own return
+        assert 3 not in live  # dead in every direction
+
+    def test_region_ending_in_goto_uses_target_liveness(self):
+        # The region exits through a GOTO; what's live at the *target*
+        # decides what must be packed, not what follows textually.
+        method = method_of(
+            """
+            const r1, 3
+            if_ne r0, r1, @skip
+            add_lit r2, r0, 1
+            goto @tail
+        @skip:
+            const r2, 0
+        @tail:
+            return r2
+            """
+        )
+        live = live_registers_for_region(method, 2, 4)
+        assert 2 in live      # flows out through the goto to @tail
 
     def test_packed_bomb_still_preserves_semantics(self):
         """End-to-end: a woven bomb whose body has internal temporaries

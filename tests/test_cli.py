@@ -62,6 +62,68 @@ def test_attack_subcommand(workdir, capsys):
     assert "resisted" in out
 
 
+def test_lint_subcommand(workdir, capsys):
+    import json
+
+    app = str(workdir / "app.rapk")
+    protected = str(workdir / "protected.rapk")
+    main(["build", "--name", "CliDemo4", "--seed", "7", "--scale", "0.1", "--out", app])
+    main(["protect", "--in", app, "--out", protected, "--key-seed", "7007",
+          "--profiling-events", "200", "--strict"])
+    capsys.readouterr()
+
+    # Exit code 0 = no error-severity diagnostics; both the clean build
+    # and the strict-protected output must pass.
+    assert main(["lint", "--in", app]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+    assert main(["lint", "--in", protected]) == 0
+    capsys.readouterr()
+
+    assert main(["lint", "--in", protected, "--json"]) == 0
+    out = capsys.readouterr().out
+    parsed = json.loads(out)
+    assert all(entry["severity"] != "error" for entry in parsed)
+
+    assert main(["lint", "--in", protected, "--rules", "weak-salt"]) == 0
+    capsys.readouterr()
+
+
+def test_lint_subcommand_flags_violations(workdir, capsys):
+    from repro.apk import Resources, build_apk
+    from repro.cli import _save_with_manifest
+    from repro.crypto import RSAKeyPair
+    from repro.dex import assemble
+
+    dex = assemble(
+        ".class A\n.method m 0\n"
+        "invoke r0, android.pm.get_public_key\nreturn r0\n.end"
+    )
+    apk = build_apk(dex, Resources(strings={"app_name": "A"}),
+                    RSAKeyPair.generate(seed=77))
+    path = str(workdir / "leaky.rapk")
+    _save_with_manifest(apk, path)
+
+    assert main(["lint", "--in", path]) == 1
+    out = capsys.readouterr().out
+    assert "text-search-surface" in out
+
+    assert main(["lint", "--in", path, "--rules", "no-such-rule"]) == 2
+    err = capsys.readouterr().err
+    assert "no-such-rule" in err
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "leaked-trigger-const" in out
+    assert "read-uninit" in out
+
+    assert main(["lint"]) == 2
+    assert "--in is required" in capsys.readouterr().err
+
+
 def test_apk_file_roundtrip(workdir, small_apk):
     path = str(workdir / "x.rapk")
     from repro.cli import _save_with_manifest

@@ -32,6 +32,16 @@ def test_act1_protection_preserves_the_app(story):
     assert not runtime.detections
 
 
+def test_act1b_clean_and_protected_apps_lint_clean(story):
+    from repro.lint import errors, format_report, run_lint
+
+    bundle, protected, report, _, _ = story
+    original = run_lint(bundle.apk.dex())
+    assert not errors(original), format_report(original)
+    diagnostics = run_lint(protected.dex(), report=report)
+    assert not errors(diagnostics), format_report(diagnostics)
+
+
 def test_act2_attacker_analysis_stalls(story):
     bundle, protected, report, _, _ = story
     symbolic = SymbolicAttack(max_paths=32, max_steps=1500).run(protected)

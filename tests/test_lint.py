@@ -1,0 +1,368 @@
+"""Stealth lint rules over seeded violations and real protected apps.
+
+Each seeded test plants exactly the defect its rule hunts (a bomb woven
+inside a loop, a trigger constant back in plaintext, a tampered unpack
+sequence...) and asserts the exact rule id.  The clean-app tests then
+pin the other direction: the whole corpus and freshly protected apps
+must produce zero error-severity diagnostics.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.qualified_conditions import Strength
+from repro.core import BombDroid, BombDroidConfig
+from repro.core.config import DetectionMethod, ResponseKind
+from repro.core.stats import Bomb, BombOrigin
+from repro.corpus.generator import generate_corpus
+from repro.crypto import RSAKeyPair
+from repro.dex import assemble
+from repro.errors import VerificationError
+from repro.lint import (
+    RULES,
+    Severity,
+    bomb_sites,
+    errors,
+    format_report,
+    max_severity,
+    run_lint,
+    selected_rules,
+)
+
+
+def bomb_record(**overrides) -> Bomb:
+    base = dict(
+        bomb_id="b001",
+        method="A.m",
+        origin=BombOrigin.EXISTING,
+        strength=Strength.MEDIUM,
+        const_value=5,
+        salt_hex="aa" * 12,
+        hc_hex="bb" * 20,
+        payload_class="Bomb$b001",
+        woven=True,
+        detection=DetectionMethod.PUBLIC_KEY,
+        response=ResponseKind.CRASH,
+    )
+    base.update(overrides)
+    return Bomb(**base)
+
+
+def report_with(*bombs):
+    return SimpleNamespace(bombs=list(bombs))
+
+
+def stealth_only(dex, **kwargs):
+    """Lint without the verifier layer: seeded methods here are minimal
+    shapes, not fully-formed programs."""
+    return run_lint(dex, include_verifier=False, **kwargs)
+
+
+class TestLeakedTriggerConst:
+    def test_erased_const_back_in_comparison(self):
+        dex = assemble(
+            ".class A\n.method m 1\n"
+            "const r1, 5\nif_eq r0, r1, @hit\nreturn_void\n"
+            "@hit:\nreturn_void\n.end"
+        )
+        report = report_with(bomb_record(const_value=5, const_erased=True))
+        diagnostics = stealth_only(dex, report=report)
+        assert [d.rule for d in diagnostics] == ["leaked-trigger-const"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_value_collision_outside_comparison_not_flagged(self):
+        # The same literal used as a loop bound is not a leak.
+        dex = assemble(
+            ".class A\n.method m 1\n"
+            "const r1, 5\nadd r2, r0, r1\nreturn r2\n.end"
+        )
+        report = report_with(bomb_record(const_value=5, const_erased=True))
+        assert stealth_only(dex, report=report) == []
+
+    def test_surviving_trigger_string_warns(self):
+        dex = assemble(
+            '.class A\n.method m 1\n'
+            'const r1, "magic-word"\n'
+            'invoke r2, java.str.equals, r0, r1\n'
+            'return r2\n.end'
+        )
+        report = report_with(
+            bomb_record(const_value="magic-word", const_erased=False)
+        )
+        diagnostics = stealth_only(dex, report=report)
+        assert [d.rule for d in diagnostics] == ["leaked-trigger-const"]
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_needs_report(self):
+        dex = assemble(
+            ".class A\n.method m 1\nconst r1, 5\n"
+            "if_eq r0, r1, @x\n@x:\nreturn_void\n.end"
+        )
+        assert stealth_only(dex) == []
+
+
+class TestBombInLoop:
+    def test_hash_inside_natural_loop(self):
+        dex = assemble(
+            ".class A\n.method m 1\n"
+            "const r1, 0\n"
+            "@loop:\n"
+            "if_ge r1, r0, @done\n"
+            'const r2, "aabb"\nconst r3, "b001"\n'
+            "invoke r4, bomb.hash, r1, r2, r3\n"
+            "add_lit r1, r1, 1\n"
+            "goto @loop\n"
+            "@done:\nreturn_void\n.end"
+        )
+        diagnostics = stealth_only(dex)
+        assert "bomb-in-loop" in {d.rule for d in diagnostics}
+        assert errors(diagnostics)
+
+    def test_hash_outside_loop_clean(self):
+        dex = assemble(
+            ".class A\n.method m 1\n"
+            'const r2, "aabb"\nconst r3, "b001"\n'
+            "invoke r4, bomb.hash, r0, r2, r3\n"
+            "return_void\n.end"
+        )
+        assert all(d.rule != "bomb-in-loop" for d in stealth_only(dex))
+
+
+class TestLiveSetMismatch:
+    # A minimal Listing-3 shape: one live register (r0) packed into
+    # slot 0 of a 3-slot array (1 live + control + return-value slots),
+    # then unpacked after bomb.load_run.
+    SHAPE = (
+        ".class A\n.method m 1\n"
+        'const r2, "aabb"\nconst r3, "b001"\n'
+        "invoke r4, bomb.hash, r0, r2, r3\n"
+        "const r5, 3\n"
+        "new_array r6, r5\n"
+        "const r7, 0\n"
+        "aput r0, r6, r7\n"
+        'const r8, "Bomb$b001.run"\n'
+        "invoke r9, bomb.load_run, r4, r8, r6, r0\n"
+        "const r7, 0\n"
+        "aget {unpack_reg}, r9, r7\n"
+        "return_void\n.end"
+    )
+
+    def test_tampered_unpack_detected(self):
+        # The adversary retargets the unpack AGET: r0 went into the
+        # payload, but r1 comes back out, so the woven state no longer
+        # round-trips.
+        dex = assemble(self.SHAPE.format(unpack_reg="r1"))
+        diagnostics = stealth_only(dex)
+        flagged = [d for d in diagnostics if d.rule == "live-set-mismatch"]
+        assert flagged and flagged[0].is_error
+        assert "unpacks" in flagged[0].message
+
+    def test_missing_slot_detected(self):
+        # Declared length says one live slot, but nothing is packed.
+        source = self.SHAPE.format(unpack_reg="r0").replace(
+            "aput r0, r6, r7\n", ""
+        )
+        diagnostics = stealth_only(assemble(source))
+        flagged = [d for d in diagnostics if d.rule == "live-set-mismatch"]
+        assert flagged and "packs slots" in flagged[0].message
+
+    def test_round_tripping_shape_clean(self):
+        dex = assemble(self.SHAPE.format(unpack_reg="r0"))
+        diagnostics = stealth_only(dex)
+        assert all(d.rule != "live-set-mismatch" for d in diagnostics)
+
+    def test_intact_app_clean(self, protected_apk, protection_report):
+        diagnostics = stealth_only(protected_apk.dex(), report=protection_report)
+        assert all(d.rule != "live-set-mismatch" for d in diagnostics)
+
+    def test_recorded_regs_cross_checked(self, protected_apk, protection_report):
+        # Every recovered site's packing must match the liveness result
+        # the instrumenter recorded at weave time.
+        sites = bomb_sites(protected_apk.dex())
+        by_id = {b.bomb_id: b for b in protection_report.bombs}
+        checked = 0
+        for site in sites:
+            bomb = by_id.get(site.bomb_id)
+            if bomb is None or site.packed_count is None:
+                continue
+            packed = tuple(
+                site.packed_stores[i] for i in sorted(site.packed_stores)
+            )
+            assert packed == bomb.packed_regs
+            checked += 1
+        assert checked > 0
+
+
+class TestTextSearchSurface:
+    def test_plaintext_detection_api_invoke(self):
+        dex = assemble(
+            ".class A\n.method m 0\n"
+            "invoke r0, android.pm.get_public_key\nreturn r0\n.end"
+        )
+        diagnostics = stealth_only(dex)
+        assert [d.rule for d in diagnostics] == ["text-search-surface"]
+        assert diagnostics[0].is_error
+
+    def test_api_name_in_string_constant(self):
+        dex = assemble(
+            '.class A\n.method m 0\n'
+            'const r0, "calls get_manifest_digest later"\nreturn r0\n.end'
+        )
+        assert [d.rule for d in stealth_only(dex)] == ["text-search-surface"]
+
+    def test_innocent_strings_clean(self):
+        dex = assemble(
+            '.class A\n.method m 0\nconst r0, "hello world"\nreturn r0\n.end'
+        )
+        assert stealth_only(dex) == []
+
+
+class TestWeakSalt:
+    def test_salt_reuse_across_bombs(self):
+        dex = assemble(".class A\n.method m 0\nreturn_void\n.end")
+        report = report_with(
+            bomb_record(bomb_id="b001", salt_hex="cc" * 12),
+            bomb_record(bomb_id="b002", salt_hex="cc" * 12, const_value=None),
+        )
+        diagnostics = stealth_only(dex, report=report)
+        assert [d.rule for d in diagnostics] == ["weak-salt"]
+        assert "b001" in diagnostics[0].message
+
+    def test_salt_reuse_recovered_from_bytecode(self):
+        # No report: the rule must find the duplicate salts in the
+        # prologues themselves.
+        dex = assemble(
+            ".class A\n.method m 1\n"
+            'const r2, "deadbeef"\nconst r3, "b001"\n'
+            "invoke r4, bomb.hash, r0, r2, r3\n"
+            'const r5, "deadbeef"\nconst r6, "b002"\n'
+            "invoke r7, bomb.hash, r0, r5, r6\n"
+            "return_void\n.end"
+        )
+        diagnostics = stealth_only(dex, rules=["weak-salt"])
+        assert [d.rule for d in diagnostics] == ["weak-salt"]
+
+    def test_distinct_salts_clean(self):
+        dex = assemble(".class A\n.method m 0\nreturn_void\n.end")
+        report = report_with(
+            bomb_record(bomb_id="b001", salt_hex="cc" * 12),
+            bomb_record(bomb_id="b002", salt_hex="dd" * 12, const_value=None),
+        )
+        assert stealth_only(dex, report=report) == []
+
+
+class TestLowEntropyQc:
+    SOURCE = (
+        ".class A\n.field mode static 0\n.method m 0\n"
+        "sget r0, A.mode\n"
+        'const r1, "aabb"\nconst r2, "b001"\n'
+        "invoke r3, bomb.hash, r0, r1, r2\n"
+        "return_void\n.end"
+    )
+
+    def test_low_entropy_field_warns(self):
+        diagnostics = stealth_only(
+            assemble(self.SOURCE), field_entropy={"A.mode": 2}
+        )
+        flagged = [d for d in diagnostics if d.rule == "low-entropy-qc"]
+        assert flagged and flagged[0].severity is Severity.WARNING
+
+    def test_high_entropy_field_clean(self):
+        diagnostics = stealth_only(
+            assemble(self.SOURCE), field_entropy={"A.mode": 40}
+        )
+        assert all(d.rule != "low-entropy-qc" for d in diagnostics)
+
+
+class TestEngine:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(KeyError):
+            selected_rules(["no-such-rule"])
+
+    def test_rule_selection_restricts(self):
+        dex = assemble(
+            ".class A\n.method m 0\n"
+            "invoke r0, android.pm.get_public_key\nreturn r0\n.end"
+        )
+        assert stealth_only(dex, rules=["weak-salt"]) == []
+        assert stealth_only(dex, rules=["text-search-surface"])
+
+    def test_catalog_severities(self):
+        assert {rule.severity for rule in RULES.values()} <= {
+            Severity.ERROR,
+            Severity.WARNING,
+        }
+        for rule in RULES.values():
+            assert rule.paper_ref.startswith("§")
+
+    def test_format_report_and_max_severity(self):
+        dex = assemble(
+            ".class A\n.method m 0\n"
+            "invoke r0, android.pm.get_public_key\nreturn r0\n.end"
+        )
+        diagnostics = stealth_only(dex)
+        assert max_severity(diagnostics) is Severity.ERROR
+        rendered = format_report(diagnostics)
+        assert "text-search-surface" in rendered
+        assert "1 error" in rendered
+
+
+class TestCleanApps:
+    def test_corpus_lints_clean(self):
+        for bundle in generate_corpus("Game", 2, scale=0.25, seed=13):
+            diagnostics = run_lint(bundle.apk.dex())
+            assert not errors(diagnostics), format_report(diagnostics)
+
+    def test_protected_app_lints_clean(self, protected_apk, protection_report):
+        diagnostics = run_lint(protected_apk.dex(), report=protection_report)
+        assert not errors(diagnostics), format_report(diagnostics)
+
+    def test_protected_corpus_app_lints_clean(self):
+        (bundle,) = generate_corpus("Game", 1, scale=0.25, seed=21)
+        key = RSAKeyPair.generate(seed=4021)
+        protected, report = BombDroid(BombDroidConfig(seed=21)).protect(
+            bundle.apk, key
+        )
+        diagnostics = run_lint(protected.dex(), report=report)
+        assert not errors(diagnostics), format_report(diagnostics)
+
+
+class TestStrictMode:
+    def test_strict_protect_succeeds_on_clean_app(self, small_apk, developer_key):
+        config = BombDroidConfig(seed=3, profiling_events=400)
+        protected, report = BombDroid(config).protect(
+            small_apk, developer_key, strict=True
+        )
+        assert report.total_injected > 0
+
+    def test_strict_protect_refuses_bad_output(
+        self, small_apk, developer_key, monkeypatch
+    ):
+        import repro.lint as lint_module
+        from repro.lint import Diagnostic
+
+        planted = Diagnostic(
+            rule="text-search-surface",
+            severity=Severity.ERROR,
+            message="planted for the gate test",
+            method="Game.main",
+        )
+        monkeypatch.setattr(
+            lint_module, "run_lint", lambda *args, **kwargs: [planted]
+        )
+        config = BombDroidConfig(seed=3, profiling_events=400)
+        with pytest.raises(VerificationError) as excinfo:
+            BombDroid(config).protect(small_apk, developer_key, strict=True)
+        assert excinfo.value.diagnostics == [planted]
+
+    def test_non_strict_never_gates(self, small_apk, developer_key, monkeypatch):
+        import repro.lint as lint_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("lint ran without strict=True")
+
+        monkeypatch.setattr(lint_module, "run_lint", boom)
+        config = BombDroidConfig(seed=3, profiling_events=400)
+        protected, _ = BombDroid(config).protect(small_apk, developer_key)
+        assert protected is not None
