@@ -1,0 +1,88 @@
+"""Reporting pipeline throughput: a million devices in bounded memory.
+
+The ROADMAP north star is "heavy traffic from millions of users".  This
+smoke bench streams a synthetic fleet through the full signed-report
+pipeline (sign -> client -> sharded server -> sliding-window verdict)
+and asserts the two properties that make that scale workable:
+
+* throughput -- devices/s and reports/s stay above conservative floors
+  (an order of magnitude under what a laptop does, so CI noise does
+  not flake the job);
+* memory -- peak tracked state is bounded by the shard caps and does
+  not grow with the device count.
+
+Scale via ``REPRO_BENCH_SCALE`` like the other benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import (
+    AggregatedVerdict,
+    FleetConfig,
+    OutcomeModel,
+    TakedownPolicy,
+    run_fleet,
+)
+
+from conftest import SCALE
+
+DEVICES = int(1_000_000 * SCALE)
+TARGET_REPORTS = 5_000
+
+#: Conservative floors -- a laptop does ~100x these.
+MIN_DEVICES_PER_SECOND = 20_000
+MIN_REPORTS_PER_SECOND = 200
+
+MODEL = OutcomeModel(
+    report_rate=1.0,           # capped by target_reports below
+    observed_key_hex="bb" * 20,
+    bad_experience_rate=0.35,
+)
+
+
+def _run(devices: int, seed: int = 9):
+    config = FleetConfig(
+        devices=devices,
+        batch_size=max(1, devices // 16),
+        shards=8,
+        seed=seed,
+        target_reports=TARGET_REPORTS,
+    )
+    return run_fleet("Game", "aa" * 20, MODEL, config)
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    return _run(DEVICES)
+
+
+def test_million_device_fleet_completes(fleet_result):
+    assert fleet_result.devices == DEVICES
+    assert fleet_result.verdict is AggregatedVerdict.TAKEDOWN
+    assert fleet_result.statuses.get("accepted", 0) > 100
+    assert fleet_result.metrics["reporting.takedowns"] == 1
+
+
+def test_throughput_floor(fleet_result):
+    assert fleet_result.devices_per_second >= MIN_DEVICES_PER_SECOND, (
+        f"{fleet_result.devices_per_second:,.0f} devices/s below floor"
+    )
+    assert fleet_result.reports_per_second >= MIN_REPORTS_PER_SECOND, (
+        f"{fleet_result.reports_per_second:,.0f} reports/s below floor"
+    )
+
+
+def test_memory_is_o_shards_not_o_devices(fleet_result):
+    policy = TakedownPolicy()
+    per_shard_cap = 4096 + 4096 + policy.max_tracked_keys * (
+        1 + policy.max_tracked_devices
+    )
+    assert fleet_result.peak_tracked_state <= 8 * per_shard_cap
+
+    # 4x fewer devices, same report budget: peak state must be in the
+    # same ballpark, not 4x smaller -- it tracks reports and shard caps,
+    # never the device count.
+    quarter = _run(max(1000, DEVICES // 4))
+    assert fleet_result.peak_tracked_state <= quarter.peak_tracked_state * 1.5 + 64

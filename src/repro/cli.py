@@ -9,6 +9,9 @@
     python -m repro repackage --in protected.apk --out pirated.apk --key-seed 666
     python -m repro simulate  --in pirated.apk --devices 10 --events 600
     python -m repro attack    --in protected.apk --attack symbolic
+    python -m repro serve-reports --app Game --key-hex <fp> --reports r.jsonl
+    python -m repro fleet     --in pirated.apk --original protected.apk \
+                              --devices 1000000
 
 APK files on disk are the serialized entry container (a simple binary
 framing of the entries, manifest and certificate).
@@ -257,6 +260,115 @@ def _cmd_attack(args) -> int:
     return 0 if not result.defeated_defense else 1
 
 
+def _cmd_serve_reports(args) -> int:
+    """Ingest signed detection reports (JSON lines) through ReportServer."""
+    from repro.reporting import ReportServer, TakedownPolicy
+
+    if args.key_hex:
+        original_key = args.key_hex
+    elif getattr(args, "in") is not None:
+        original_key = load_apk(getattr(args, "in")).cert.fingerprint_hex()
+    else:
+        print("error: need --key-hex or --in (the original APK)", file=sys.stderr)
+        return 2
+    server = ReportServer(
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        max_report_age=args.max_age,
+        policy=TakedownPolicy(
+            distinct_devices=args.threshold, window_seconds=args.window
+        ),
+    )
+    server.register_app(args.app, original_key)
+
+    handle = sys.stdin if args.reports == "-" else open(args.reports, "r")
+    tallies = {}
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            status = server.submit(line)
+            tallies[status.value] = tallies.get(status.value, 0) + 1
+            if server.queue_depth() >= args.process_every:
+                server.process()
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    server.process()
+
+    verdict, offender = server.verdict(args.app)
+    print(f"ingested: " + ", ".join(f"{k}={v}" for k, v in sorted(tallies.items())))
+    print(f"verdict for {args.app}: {verdict.value}"
+          + (f" (key {offender})" if offender else ""))
+    print("\nmetrics:")
+    print(server.metrics.render())
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """Stream a synthetic device fleet through the report pipeline."""
+    from repro.reporting import (
+        AggregatedVerdict,
+        FleetConfig,
+        OutcomeModel,
+        ReportServer,
+        TakedownPolicy,
+        run_fleet,
+    )
+    from repro.userside import Market
+
+    apk = load_apk(getattr(args, "in"))
+    if args.key_hex:
+        original_key = args.key_hex
+    elif args.original:
+        original_key = load_apk(args.original).cert.fingerprint_hex()
+    else:
+        print("error: need --original (the genuine APK) or --key-hex",
+              file=sys.stderr)
+        return 2
+    app_name = args.app or apk.resources().app_name
+
+    print(f"calibrating outcome model from {args.sessions} play sessions...")
+    model = OutcomeModel.calibrate(
+        apk, sessions=args.sessions, events=args.events, seed=args.seed
+    )
+    print(f"  report rate {model.report_rate:.2f}, "
+          f"bad-experience rate {model.bad_experience_rate:.2f}, "
+          f"observed key {model.observed_key_hex[:16] or '(none)'}...")
+
+    config = FleetConfig(
+        devices=args.devices,
+        batch_size=args.batch,
+        shards=args.shards,
+        seed=args.seed,
+        target_reports=args.target_reports,
+        duplicate_rate=args.duplicate_rate,
+        forge_rate=args.forge_rate,
+        transport_failure_rate=args.transport_failure_rate,
+        policy=TakedownPolicy(
+            distinct_devices=args.threshold, window_seconds=args.window
+        ),
+    )
+    server = ReportServer(shards=config.shards, policy=config.policy)
+    market = Market(seed=args.seed)
+    listing = market.publish(app_name, apk)
+    result = run_fleet(
+        app_name, original_key, model, config,
+        server=server, market=market, listing=listing,
+    )
+    print()
+    print(result.summary())
+    print("\nmarket:")
+    print(market.summary())
+    print("\nmetrics:")
+    print(server.metrics.render())
+    # Exit 1 when devices observed a foreign key but the evidence never
+    # reached a takedown -- the pipeline failed at its one job.
+    failed = model.observed_key_hex and result.verdict is not AggregatedVerdict.TAKEDOWN
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="BombDroid reproduction toolkit"
@@ -326,6 +438,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--seed", type=int, default=0)
     attack.set_defaults(func=_cmd_attack)
+
+    serve = sub.add_parser(
+        "serve-reports",
+        help="ingest signed detection reports (JSON lines) and decide takedowns",
+    )
+    serve.add_argument("--app", required=True, help="registered app name")
+    serve.add_argument("--key-hex", default=None,
+                       help="the genuine signing key fingerprint")
+    serve.add_argument("--in", default=None,
+                       help="original APK to read the genuine key from")
+    serve.add_argument("--reports", required=True,
+                       help="JSON-lines report file, or - for stdin")
+    serve.add_argument("--shards", type=int, default=8)
+    serve.add_argument("--threshold", type=int, default=3,
+                       help="distinct devices required for a takedown")
+    serve.add_argument("--window", type=float, default=3600.0,
+                       help="sliding takedown window (seconds)")
+    serve.add_argument("--max-age", type=float, default=900.0,
+                       help="replay freshness window (seconds)")
+    serve.add_argument("--queue-capacity", type=int, default=4096)
+    serve.add_argument("--process-every", type=int, default=1024,
+                       help="drain queues after this many pending reports")
+    serve.set_defaults(func=_cmd_serve_reports)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="stream a million-device fleet through the report pipeline",
+    )
+    fleet.add_argument("--in", required=True, help="the (pirated) APK users run")
+    fleet.add_argument("--original", default=None,
+                       help="the genuine APK (source of the genuine key)")
+    fleet.add_argument("--key-hex", default=None,
+                       help="genuine key fingerprint (alternative to --original)")
+    fleet.add_argument("--app", default=None,
+                       help="app name (default: from APK resources)")
+    fleet.add_argument("--devices", type=int, default=1_000_000)
+    fleet.add_argument("--batch", type=int, default=50_000)
+    fleet.add_argument("--shards", type=int, default=8)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--sessions", type=int, default=5,
+                       help="real play sessions for outcome calibration")
+    fleet.add_argument("--events", type=int, default=350,
+                       help="UI events per calibration session")
+    fleet.add_argument("--target-reports", type=int, default=25_000,
+                       help="sample the reporting subpopulation to this size")
+    fleet.add_argument("--threshold", type=int, default=3)
+    fleet.add_argument("--window", type=float, default=3600.0)
+    fleet.add_argument("--duplicate-rate", type=float, default=0.01)
+    fleet.add_argument("--forge-rate", type=float, default=0.0)
+    fleet.add_argument("--transport-failure-rate", type=float, default=0.0)
+    fleet.set_defaults(func=_cmd_fleet)
 
     return parser
 

@@ -82,7 +82,9 @@ def emit_response(
         return
 
     if kind is ResponseKind.REPORT:
-        message = builder.const_new(f"repackaged:{app_name}:{bomb_id}:key=")
+        from repro.reporting.wire import format_report_text
+
+        message = builder.const_new(format_report_text(app_name, bomb_id))
         key_reg = builder.reg()
         builder.invoke(key_reg, "android.pm.get_public_key", ())
         full = builder.reg()

@@ -91,6 +91,23 @@ class VerificationError(InstrumentationError):
         self.diagnostics = list(diagnostics)
 
 
+class ReportingError(ReproError):
+    """Failure inside the detection-report pipeline (``repro.reporting``)."""
+
+
+class WireError(ReportingError):
+    """A serialized detection report could not be decoded."""
+
+
+class TransportError(ReportingError):
+    """The report transport is unreachable (simulated network failure).
+
+    Raised by transports handed to :class:`repro.reporting.ReportClient`;
+    the client answers with retry/backoff and, past its attempt budget,
+    an offline spool.
+    """
+
+
 class AttackError(ReproError):
     """An adversary analysis failed in an unexpected way."""
 

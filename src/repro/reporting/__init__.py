@@ -1,0 +1,70 @@
+"""The decentralized detection-report pipeline (developer backend).
+
+The paper's resilience argument is decentralized: per-device bomb
+detections only matter once many user devices report the foreign
+signing key back to the developer and the market acts (Sections 1,
+4.2).  This package is that other half, at production shape:
+
+``wire``     versioned, RSA-signed report envelopes (binary + JSON
+             codecs, nonce + timestamp replay protection) and the
+             structured text channel payload bytecode emits
+``client``   device-side sender: retry, exponential backoff + jitter,
+             bounded offline spool
+``server``   sharded ingestion service: signature checks, dedup,
+             sliding-window takedown policy, bounded queues with
+             explicit backpressure accounting
+``fleet``    million-device load driver in O(shards) memory, calibrated
+             from real interpreter play sessions
+``metrics``  counters / gauges / fixed-bucket histograms for all of it
+
+``repro.userside.aggregation`` and ``repro.userside.market`` sit on top
+of this package; the CLI surface is ``repro serve-reports`` and
+``repro fleet``.
+"""
+
+from repro.reporting.client import ReportClient, Transport
+from repro.reporting.fleet import FleetConfig, FleetResult, OutcomeModel, run_fleet
+from repro.reporting.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.reporting.server import ReportServer, SubmitStatus, TakedownPolicy
+from repro.reporting.verdicts import AggregatedVerdict
+from repro.reporting.wire import (
+    WIRE_VERSION,
+    DetectionReport,
+    SignedReport,
+    decode_report,
+    encode_report,
+    format_report_text,
+    parse_report_text,
+    report_from_json,
+    report_from_text,
+    report_to_json,
+    sign_report,
+)
+
+__all__ = [
+    "AggregatedVerdict",
+    "Counter",
+    "DetectionReport",
+    "FleetConfig",
+    "FleetResult",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OutcomeModel",
+    "ReportClient",
+    "ReportServer",
+    "SignedReport",
+    "SubmitStatus",
+    "TakedownPolicy",
+    "Transport",
+    "WIRE_VERSION",
+    "decode_report",
+    "encode_report",
+    "format_report_text",
+    "parse_report_text",
+    "report_from_json",
+    "report_from_text",
+    "report_to_json",
+    "run_fleet",
+    "sign_report",
+]

@@ -1,0 +1,362 @@
+"""Fleet-scale driver: millions of devices through the report pipeline.
+
+The ROADMAP north star is "heavy traffic from millions of users"; the
+paper's Table 3 protocol (one interpreter session per device) tops out
+around tens of devices.  This driver closes the gap by splitting the
+work the way a load generator would:
+
+1. **Calibrate** an :class:`OutcomeModel` from a handful of *real*
+   interpreter play sessions (:mod:`repro.userside.simulation` /
+   :mod:`repro.vm`): what fraction of sessions fire a REPORT response,
+   which foreign key they observe, how often the experience is bad
+   enough to tank the rating.
+2. **Stream** synthetic per-device outcomes for the whole fleet in
+   batches, sampling *reporting devices* directly with geometric
+   skip-sampling -- cost is O(reports + batches), not O(devices), and
+   no per-device object survives the batch that generated it.
+3. **Drive** the real pipeline end to end: every sampled report is
+   signed by an attestation-key pool (batch keys shared across devices,
+   like real device attestation), delivered through a
+   :class:`~repro.reporting.client.ReportClient` (retry/backoff against
+   an optionally flaky transport), ingested by the sharded
+   :class:`~repro.reporting.server.ReportServer`, and -- optionally --
+   reflected into a :class:`~repro.userside.market.Market` listing via
+   bulk download/rating updates.
+
+Adversarial traffic (duplicates, replays, forged signatures) is
+injected at configurable rates so a fleet run also demonstrates the
+rejection paths.  The result records throughput, the peak bounded-state
+size (the O(shards) memory claim), and the takedown verdict.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional
+
+from repro.crypto.rsa import RSAKeyPair
+from repro.errors import TransportError, VMError
+from repro.reporting.client import ReportClient
+from repro.reporting.server import ReportServer, SubmitStatus, TakedownPolicy
+from repro.reporting.verdicts import AggregatedVerdict
+from repro.reporting.wire import SignedReport, parse_report_text
+
+
+@dataclass(frozen=True)
+class OutcomeModel:
+    """Per-session outcome probabilities, calibrated or hand-set."""
+
+    report_rate: float
+    observed_key_hex: str
+    bad_experience_rate: float
+    bomb_pool: int = 8   # distinct bomb ids reports cite
+
+    @classmethod
+    def calibrate(
+        cls,
+        apk,
+        sessions: int = 5,
+        events: int = 350,
+        seed: int = 0,
+    ) -> "OutcomeModel":
+        """Run real interpreter sessions and measure the outcome rates."""
+        from repro.fuzzing.generators import DynodroidGenerator
+        from repro.vm.device import DevicePopulation
+        from repro.vm.runtime import Runtime
+
+        population = DevicePopulation(seed=seed)
+        dex = apk.dex()
+        package = apk.install_view()
+        reporting = bad = detected = 0
+        observed = ""
+        for index in range(sessions):
+            runtime = Runtime(
+                dex, device=population.sample(), package=package,
+                seed=seed * 100 + index,
+            )
+            try:
+                runtime.boot()
+            except VMError:
+                pass
+            for event in DynodroidGenerator(dex, seed=seed * 100 + index).stream(events):
+                try:
+                    runtime.dispatch(event)
+                except VMError:
+                    pass
+            keys = [parse_report_text(text).get("key") for text in runtime.reports]
+            keys = [key for key in keys if key]
+            if keys:
+                reporting += 1
+                observed = observed or keys[0]
+            if runtime.detections:
+                detected += 1
+            if runtime.detections or any(
+                kind == "alert" for kind, _ in runtime.ui_effects
+            ):
+                bad += 1
+        report_rate = reporting / sessions if sessions else 0.0
+        if not observed and detected:
+            # Sessions detected (the installed key mismatched) but no
+            # REPORT-response bomb happened to fire in the sample.  A
+            # REPORT payload reads android.pm.get_public_key -- the
+            # installed certificate fingerprint -- so detection *is* an
+            # observation of that key; treat detecting sessions as
+            # eventual reporters.
+            observed = package.cert_fingerprint_hex
+            report_rate = detected / sessions
+        return cls(
+            report_rate=report_rate,
+            observed_key_hex=observed,
+            bad_experience_rate=bad / sessions if sessions else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet run."""
+
+    devices: int = 1_000_000
+    batch_size: int = 50_000
+    shards: int = 8
+    seed: int = 0
+    batch_seconds: float = 60.0       # fleet-clock time one batch spans
+    attestation_pool: int = 4         # batch attestation keys (and clients)
+    target_reports: Optional[int] = 25_000   # cap: sample the reporting
+                                             # subpopulation down to this
+    calibration_sessions: int = 5
+    calibration_events: int = 350
+    duplicate_rate: float = 0.0       # client double-sends
+    forge_rate: float = 0.0           # pirate-forged envelopes
+    replay_stale: bool = False        # resubmit a stale report each batch
+    transport_failure_rate: float = 0.0
+    stop_on_takedown: bool = False
+    policy: TakedownPolicy = field(default_factory=TakedownPolicy)
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run observed."""
+
+    app_name: str
+    devices: int
+    batches: int
+    reports_sent: int
+    statuses: Dict[str, int]
+    verdict: AggregatedVerdict
+    offender_key: str
+    takedown_clock: Optional[float]   # fleet-sim seconds at first TAKEDOWN
+    average_rating: float
+    wall_seconds: float
+    peak_tracked_state: int
+    spooled: int
+    client_retries: int
+    metrics: Dict[str, object]
+
+    @property
+    def reports_per_second(self) -> float:
+        return self.reports_sent / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def devices_per_second(self) -> float:
+        return self.devices / self.wall_seconds if self.wall_seconds else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet: {self.devices:,} devices in {self.batches} batches "
+            f"({self.wall_seconds:.2f}s wall, "
+            f"{self.devices_per_second:,.0f} devices/s)",
+            f"reports: {self.reports_sent:,} sent "
+            f"({self.reports_per_second:,.0f}/s); statuses: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.statuses.items())),
+            f"verdict: {self.verdict.value}"
+            + (f" against {self.offender_key[:16]}..." if self.offender_key else ""),
+            f"peak tracked state: {self.peak_tracked_state} entries "
+            f"(shard-bounded); rating: {self.average_rating:.1f}",
+        ]
+        if self.takedown_clock is not None:
+            lines.append(f"takedown at fleet-clock {self.takedown_clock:.0f}s")
+        return "\n".join(lines)
+
+
+def _sample_indices(n: int, p: float, rng: random.Random) -> Iterator[int]:
+    """Indices of successes among ``n`` Bernoulli(p) draws, O(successes).
+
+    Geometric skip-sampling: gaps between successes follow a geometric
+    law, so the loop touches only the devices that actually report.
+    """
+    if p <= 0.0 or n <= 0:
+        return
+    if p >= 1.0:
+        yield from range(n)
+        return
+    log_q = math.log1p(-p)
+    index = -1
+    while True:
+        gap = int(math.log(max(rng.random(), 1e-300)) / log_q)
+        index += gap + 1
+        if index >= n:
+            return
+        yield index
+
+
+def run_fleet(
+    app_name: str,
+    original_key_hex: str,
+    model: OutcomeModel,
+    config: FleetConfig = FleetConfig(),
+    server: Optional[ReportServer] = None,
+    market=None,
+    listing=None,
+) -> FleetResult:
+    """Stream a whole fleet's play-session outcomes through the pipeline.
+
+    Tracked state is O(config.shards): per-device work is a sampled
+    report (signed, delivered, forgotten) or a bulk counter bump.
+    Pass ``market``/``listing`` to close the ecosystem loop -- bulk
+    downloads and ratings flow into the listing and a TAKEDOWN verdict
+    pulls it.
+    """
+    if server is None:
+        server = ReportServer(shards=config.shards, policy=config.policy)
+    if app_name not in server.apps:
+        server.register_app(app_name, original_key_hex)
+
+    rng = random.Random(config.seed)
+    keys = [
+        RSAKeyPair.generate(seed=config.seed * 1000 + 17 + i)
+        for i in range(max(1, config.attestation_pool))
+    ]
+
+    def transport(signed: SignedReport):
+        if (
+            config.transport_failure_rate
+            and rng.random() < config.transport_failure_rate
+        ):
+            raise TransportError("fleet uplink unavailable")
+        return server.submit(signed)
+
+    clients = [
+        ReportClient(
+            transport,
+            key,
+            device_id=f"attestation-batch-{i}",
+            seed=config.seed * 7919 + i,
+        )
+        for i, key in enumerate(keys)
+    ]
+
+    report_rate = model.report_rate
+    if config.target_reports is not None and config.devices > 0:
+        report_rate = min(report_rate, config.target_reports / config.devices)
+
+    statuses: Dict[str, int] = {}
+    reports_sent = 0
+    peak_tracked = 0
+    fleet_clock = 0.0
+    takedown_clock: Optional[float] = None
+    verdict, offender = AggregatedVerdict.CLEAN, ""
+    rating_sum = 0
+    rating_count = 0
+    stale_report: Optional[SignedReport] = None
+    batches = 0
+    started = time.monotonic()
+
+    for batch_start in range(0, config.devices, config.batch_size):
+        batches += 1
+        batch = min(config.batch_size, config.devices - batch_start)
+        brng = random.Random(config.seed * 1_000_003 + batches)
+
+        # Ecosystem loop: the batch's users download first (rating-gated).
+        if market is not None and listing is not None:
+            active = market.download_batch(listing, batch, rng=brng)
+        else:
+            active = batch
+
+        for offset in _sample_indices(active, report_rate, brng):
+            device_index = batch_start + offset
+            client = clients[device_index % len(clients)]
+            timestamp = fleet_clock + brng.random() * config.batch_seconds
+            client.report(
+                app_name=app_name,
+                bomb_id=f"b{device_index % model.bomb_pool:03d}",
+                observed_key_hex=model.observed_key_hex,
+                timestamp=timestamp,
+                device_id=f"dev-{device_index:09d}",
+            )
+            reports_sent += 1
+            status = client.last_status
+            name = status.value if isinstance(status, SubmitStatus) else "spooled"
+            statuses[name] = statuses.get(name, 0) + 1
+            signed = client.last_signed
+            if stale_report is None:
+                stale_report = signed
+            if config.duplicate_rate and brng.random() < config.duplicate_rate:
+                dup = server.submit(signed)
+                statuses[dup.value] = statuses.get(dup.value, 0) + 1
+            if config.forge_rate and brng.random() < config.forge_rate:
+                forged = replace(signed, signature=signed.signature ^ 1)
+                bad = server.submit(forged)
+                statuses[bad.value] = statuses.get(bad.value, 0) + 1
+
+        if (
+            config.replay_stale
+            and stale_report is not None
+            and fleet_clock - stale_report.report.timestamp > server.max_report_age
+        ):
+            replayed = server.submit(stale_report)
+            statuses[replayed.value] = statuses.get(replayed.value, 0) + 1
+
+        server.process()
+        for client in clients:
+            if client.spooled:
+                client.flush()
+
+        # Ratings: detections sour the reviews (bulk counters, no lists).
+        bad_count = int(round(active * model.bad_experience_rate))
+        good_count = active - bad_count
+        rating_sum += bad_count * 1 + good_count * 5
+        rating_count += active
+        if market is not None and listing is not None:
+            if bad_count:
+                market.rate_batch(listing, 1, bad_count)
+            if good_count:
+                market.rate_batch(listing, 5, good_count)
+
+        fleet_clock += config.batch_seconds
+        tracked = server.tracked_state_size()
+        if tracked > peak_tracked:
+            peak_tracked = tracked
+
+        verdict, offender = server.verdict(app_name)
+        if verdict is AggregatedVerdict.TAKEDOWN and takedown_clock is None:
+            takedown_clock = fleet_clock
+            if market is not None:
+                market.process_server_takedowns(server)
+            if config.stop_on_takedown:
+                break
+
+    wall = time.monotonic() - started
+    metrics = server.metrics
+    metrics.counter("fleet.devices_simulated").inc(config.devices)
+    metrics.counter("fleet.reports_sent").inc(reports_sent)
+    metrics.gauge("fleet.peak_tracked_state").set(peak_tracked)
+
+    return FleetResult(
+        app_name=app_name,
+        devices=config.devices,
+        batches=batches,
+        reports_sent=reports_sent,
+        statuses=statuses,
+        verdict=verdict,
+        offender_key=offender,
+        takedown_clock=takedown_clock,
+        average_rating=rating_sum / rating_count if rating_count else 0.0,
+        wall_seconds=wall,
+        peak_tracked_state=peak_tracked,
+        spooled=sum(client.spooled for client in clients),
+        client_retries=sum(client.retries for client in clients),
+        metrics=metrics.snapshot(),
+    )

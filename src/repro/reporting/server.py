@@ -1,0 +1,407 @@
+"""Developer-side ingestion service for detection reports.
+
+``ReportServer`` is the backend the paper implies but never builds: the
+place where "thousands of user devices" (Section 4.2) deliver evidence
+that a repackaged copy is circulating.  Design constraints, in order:
+
+* **Bounded state.**  Millions of devices may report; the server must
+  hold memory proportional to its *shard count*, never its device
+  count.  Every structure -- ingest queues, nonce dedup windows,
+  per-key sliding windows, the tracked-key set itself -- has a hard
+  cap with explicit eviction/drop accounting.
+* **Sharded aggregation.**  Reports are routed to one of N shards by a
+  stable hash of the device id, so each device's state lives in exactly
+  one shard and per-shard distinct-device counts sum to the global
+  count without cross-shard coordination.
+* **Adversarial inputs.**  Signatures are verified (a pirate cannot
+  manufacture evidence against the *developer's* key), stale reports
+  are rejected as replays, and client retries are deduplicated on
+  ``(device, nonce)``.
+* **Backpressure, not collapse.**  ``submit`` validates and enqueues;
+  ``process`` drains queues into the takedown policy.  A full queue
+  drops the report and says so (``SubmitStatus.DROPPED`` plus a
+  counter) instead of growing without bound.
+
+The takedown decision is a **sliding-window policy**: a takedown needs
+``distinct_devices`` *different* devices naming the same foreign key
+within ``window_seconds``.  That replaces the seed's bare counter
+threshold -- a trickle of ancient reports no longer triggers takedowns,
+and one noisy device cannot vote more than once.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import zlib
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReportingError, WireError
+from repro.reporting.metrics import MetricsRegistry
+from repro.reporting.wire import (
+    DetectionReport,
+    SignedReport,
+    decode_report,
+    report_from_json,
+)
+from repro.reporting.verdicts import AggregatedVerdict
+
+
+class SubmitStatus(enum.Enum):
+    """Outcome of one ``submit`` call, mirrored in the metrics."""
+
+    ACCEPTED = "accepted"
+    DUPLICATE = "duplicate"          # (device, nonce) already seen
+    REPLAYED = "replayed"            # older than the freshness window
+    BAD_SIGNATURE = "bad_signature"  # forged / corrupted envelope
+    MALFORMED = "malformed"          # frame does not decode
+    UNKNOWN_APP = "unknown_app"      # app not registered here
+    DROPPED = "dropped"              # shard queue full (backpressure)
+
+
+@dataclass(frozen=True)
+class TakedownPolicy:
+    """Sliding-window takedown rule.
+
+    ``distinct_devices`` different devices must name the same foreign
+    key within ``window_seconds``.  The ``max_tracked_*`` caps bound
+    per-shard memory; they are capacity limits, not semantics.
+    """
+
+    distinct_devices: int = 3
+    window_seconds: float = 3600.0
+    max_tracked_devices: int = 512   # window entries per key per shard
+    max_tracked_keys: int = 64       # foreign keys tracked per shard
+
+
+class _KeyWindow:
+    """Sliding window of (timestamp, device) sightings of one key."""
+
+    __slots__ = ("entries", "device_counts", "first_ts", "last_ts")
+
+    def __init__(self) -> None:
+        self.entries: Deque[Tuple[float, str]] = deque()
+        self.device_counts: Dict[str, int] = {}
+        self.first_ts = math.inf
+        self.last_ts = -math.inf
+
+    def add(self, ts: float, device_id: str, cap: int) -> None:
+        if len(self.entries) >= cap:
+            self._evict_oldest()
+        self.entries.append((ts, device_id))
+        self.device_counts[device_id] = self.device_counts.get(device_id, 0) + 1
+        if ts < self.first_ts:
+            self.first_ts = ts
+        if ts > self.last_ts:
+            self.last_ts = ts
+
+    def prune(self, now: float, window_seconds: float) -> None:
+        if math.isinf(window_seconds):
+            return
+        horizon = now - window_seconds
+        while self.entries and self.entries[0][0] < horizon:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        _, device_id = self.entries.popleft()
+        remaining = self.device_counts[device_id] - 1
+        if remaining:
+            self.device_counts[device_id] = remaining
+        else:
+            del self.device_counts[device_id]
+
+    def distinct_devices(self) -> int:
+        return len(self.device_counts)
+
+    def size(self) -> int:
+        return len(self.entries)
+
+
+class _Shard:
+    """One shard: ingest queue, dedup window, per-key sliding windows."""
+
+    __slots__ = ("queue", "nonce_order", "nonce_set", "windows")
+
+    def __init__(self) -> None:
+        self.queue: Deque[DetectionReport] = deque()
+        self.nonce_order: Deque[Tuple[str, int]] = deque()
+        self.nonce_set: set = set()
+        # key -> window, in last-touched order for bounded eviction.
+        self.windows: "OrderedDict[str, _KeyWindow]" = OrderedDict()
+
+    def seen(self, device_id: str, nonce: int) -> bool:
+        return (device_id, nonce) in self.nonce_set
+
+    def remember(self, device_id: str, nonce: int, cap: int) -> None:
+        token = (device_id, nonce)
+        if len(self.nonce_order) >= cap:
+            self.nonce_set.discard(self.nonce_order.popleft())
+        self.nonce_order.append(token)
+        self.nonce_set.add(token)
+
+    def window_for(self, key: str, cap_keys: int) -> Tuple[_KeyWindow, bool]:
+        """(window, evicted_one) -- creates and bounds the key set."""
+        window = self.windows.get(key)
+        evicted = False
+        if window is None:
+            if len(self.windows) >= cap_keys:
+                self.windows.popitem(last=False)
+                evicted = True
+            window = self.windows[key] = _KeyWindow()
+        else:
+            self.windows.move_to_end(key)
+        return window, evicted
+
+    def tracked_size(self) -> int:
+        return (
+            len(self.queue)
+            + len(self.nonce_set)
+            + len(self.windows)
+            + sum(w.size() for w in self.windows.values())
+        )
+
+
+class _AppState:
+    """Per-registered-app ingestion state."""
+
+    __slots__ = ("name", "original_key_hex", "shards", "takedown_key", "takedown_ts")
+
+    def __init__(self, name: str, original_key_hex: str, shard_count: int) -> None:
+        self.name = name
+        self.original_key_hex = original_key_hex.lower()
+        self.shards = [_Shard() for _ in range(shard_count)]
+        self.takedown_key: Optional[str] = None
+        self.takedown_ts: Optional[float] = None
+
+
+class ReportServer:
+    """Sharded, bounded ingestion service for signed detection reports."""
+
+    def __init__(
+        self,
+        shards: int = 8,
+        queue_capacity: int = 4096,
+        dedup_window: int = 4096,
+        max_report_age: float = 900.0,
+        policy: Optional[TakedownPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if shards < 1:
+            raise ReportingError("need at least one shard")
+        self.shard_count = shards
+        self.queue_capacity = queue_capacity
+        self.dedup_window = dedup_window
+        self.max_report_age = max_report_age
+        self.policy = policy or TakedownPolicy()
+        self.metrics = metrics or MetricsRegistry()
+        self.clock = 0.0
+        self._apps: Dict[str, _AppState] = {}
+        self._trusted_nonce = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register_app(self, app_name: str, original_key_hex: str) -> None:
+        """Register an app the developer operates this backend for."""
+        if app_name in self._apps:
+            raise ReportingError(f"app {app_name!r} already registered")
+        self._apps[app_name] = _AppState(
+            app_name, original_key_hex, self.shard_count
+        )
+
+    @property
+    def apps(self) -> Iterable[str]:
+        return self._apps.keys()
+
+    # -- ingestion ----------------------------------------------------------
+
+    def submit(self, item) -> SubmitStatus:
+        """Validate and enqueue one report.
+
+        Accepts a :class:`SignedReport`, binary frame bytes, or a JSON
+        line.  Validation order: decode, app lookup, signature,
+        freshness, dedup, queue capacity.
+        """
+        self.metrics.counter("reporting.received").inc()
+        if isinstance(item, (bytes, bytearray)):
+            try:
+                item = decode_report(item)
+            except WireError:
+                return self._reject("reporting.rejected_malformed", SubmitStatus.MALFORMED)
+        elif isinstance(item, str):
+            try:
+                item = report_from_json(item)
+            except WireError:
+                return self._reject("reporting.rejected_malformed", SubmitStatus.MALFORMED)
+        if not isinstance(item, SignedReport):
+            return self._reject("reporting.rejected_malformed", SubmitStatus.MALFORMED)
+        app = self._apps.get(item.report.app_name)
+        if app is None:
+            return self._reject("reporting.unknown_app", SubmitStatus.UNKNOWN_APP)
+        if not item.verify():
+            return self._reject("reporting.rejected_forged", SubmitStatus.BAD_SIGNATURE)
+        return self._admit(app, item.report)
+
+    def ingest_trusted(
+        self,
+        app_name: str,
+        *,
+        device_id: str,
+        observed_key_hex: str,
+        bomb_id: str = "",
+        timestamp: Optional[float] = None,
+        nonce: Optional[int] = None,
+    ) -> SubmitStatus:
+        """Legacy channel: ingest an already-authenticated report.
+
+        Used by :class:`repro.userside.aggregation.DetectionAggregator`,
+        which fronts the old free-form string protocol where transport
+        authentication happened out of band.  Skips signature checks but
+        shares dedup, backpressure and the takedown policy.
+        """
+        app = self._apps.get(app_name)
+        if app is None:
+            return self._reject("reporting.unknown_app", SubmitStatus.UNKNOWN_APP)
+        self.metrics.counter("reporting.received").inc()
+        if nonce is None:
+            self._trusted_nonce += 1
+            nonce = self._trusted_nonce
+        report = DetectionReport(
+            app_name=app_name,
+            bomb_id=bomb_id,
+            device_id=device_id,
+            observed_key_hex=observed_key_hex.lower(),
+            timestamp=self.clock if timestamp is None else timestamp,
+            nonce=nonce,
+        )
+        return self._admit(app, report)
+
+    def _admit(self, app: _AppState, report: DetectionReport) -> SubmitStatus:
+        if report.timestamp < self.clock - self.max_report_age:
+            return self._reject("reporting.rejected_replayed", SubmitStatus.REPLAYED)
+        if report.timestamp > self.clock:
+            self.clock = report.timestamp
+        shard = app.shards[self._shard_index(report.device_id)]
+        if shard.seen(report.device_id, report.nonce):
+            return self._reject("reporting.duplicates_dropped", SubmitStatus.DUPLICATE)
+        if len(shard.queue) >= self.queue_capacity:
+            return self._reject("reporting.dropped_backpressure", SubmitStatus.DROPPED)
+        shard.remember(report.device_id, report.nonce, self.dedup_window)
+        shard.queue.append(report)
+        self.metrics.counter("reporting.accepted").inc()
+        self._update_gauges()
+        return SubmitStatus.ACCEPTED
+
+    def _reject(self, counter: str, status: SubmitStatus) -> SubmitStatus:
+        self.metrics.counter(counter).inc()
+        return status
+
+    def _shard_index(self, device_id: str) -> int:
+        # zlib.crc32 is stable across processes (str hash is salted).
+        return zlib.crc32(device_id.encode("utf-8")) % self.shard_count
+
+    # -- processing ---------------------------------------------------------
+
+    def process(self, limit: Optional[int] = None) -> int:
+        """Drain shard queues into the sliding-window policy.
+
+        Returns the number of reports applied.  ``limit`` caps the total
+        across all shards (for incremental draining under load).
+        """
+        processed = 0
+        policy = self.policy
+        for app in self._apps.values():
+            for shard in app.shards:
+                while shard.queue:
+                    if limit is not None and processed >= limit:
+                        self._update_gauges()
+                        return processed
+                    report = shard.queue.popleft()
+                    processed += 1
+                    if report.observed_key_hex == app.original_key_hex:
+                        self.metrics.counter("reporting.original_key_reports").inc()
+                        continue
+                    window, evicted = shard.window_for(
+                        report.observed_key_hex, policy.max_tracked_keys
+                    )
+                    if evicted:
+                        self.metrics.counter("reporting.evicted_keys").inc()
+                    window.add(
+                        report.timestamp, report.device_id, policy.max_tracked_devices
+                    )
+        self.metrics.counter("reporting.processed").inc(processed)
+        self._update_gauges()
+        return processed
+
+    # -- verdicts -----------------------------------------------------------
+
+    def verdict(self, app_name: str) -> Tuple[AggregatedVerdict, str]:
+        """The developer's decision for one app, and the offending key.
+
+        Ties between foreign keys with equal distinct-device counts are
+        broken deterministically: highest count first, then
+        lexicographically greatest fingerprint.
+        """
+        app = self._apps.get(app_name)
+        if app is None:
+            raise ReportingError(f"unknown app {app_name!r}")
+        counts: Dict[str, int] = {}
+        first_ts: Dict[str, float] = {}
+        for shard in app.shards:
+            for key, window in shard.windows.items():
+                window.prune(self.clock, self.policy.window_seconds)
+                distinct = window.distinct_devices()
+                if not distinct:
+                    continue
+                counts[key] = counts.get(key, 0) + distinct
+                ts = first_ts.get(key, math.inf)
+                if window.first_ts < ts:
+                    first_ts[key] = window.first_ts
+        if not counts:
+            return AggregatedVerdict.CLEAN, ""
+        best_key = max(counts, key=lambda key: (counts[key], key))
+        if counts[best_key] >= self.policy.distinct_devices:
+            if app.takedown_key is None:
+                app.takedown_key = best_key
+                app.takedown_ts = self.clock
+                latency = max(0.0, self.clock - first_ts[best_key])
+                self.metrics.counter("reporting.takedowns").inc()
+                self.metrics.histogram(
+                    "reporting.takedown_latency_seconds"
+                ).observe(latency)
+            return AggregatedVerdict.TAKEDOWN, best_key
+        return AggregatedVerdict.SUSPECT, best_key
+
+    def verdicts(self) -> Dict[str, Tuple[AggregatedVerdict, str]]:
+        return {name: self.verdict(name) for name in self._apps}
+
+    def takedown_candidates(self) -> List[Tuple[str, str]]:
+        """(app, offending key) pairs whose verdict is TAKEDOWN."""
+        out = []
+        for name in self._apps:
+            verdict, key = self.verdict(name)
+            if verdict is AggregatedVerdict.TAKEDOWN:
+                out.append((name, key))
+        return out
+
+    # -- observability ------------------------------------------------------
+
+    def tracked_state_size(self) -> int:
+        """Entries held across all bounded structures (the O(shards) claim)."""
+        return sum(
+            shard.tracked_size()
+            for app in self._apps.values()
+            for shard in app.shards
+        )
+
+    def queue_depth(self) -> int:
+        return sum(
+            len(shard.queue)
+            for app in self._apps.values()
+            for shard in app.shards
+        )
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge("reporting.queue_depth").set(self.queue_depth())
+        self.metrics.gauge("reporting.tracked_state").set(self.tracked_state_size())

@@ -1,0 +1,16 @@
+"""The developer's aggregated decision states.
+
+Historically exported as ``repro.userside.aggregation.AggregatedVerdict``
+(still re-exported there); the enum lives here so the report pipeline
+does not depend back on the user-side simulation package.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AggregatedVerdict(enum.Enum):
+    CLEAN = "clean"
+    SUSPECT = "suspect"          # a few reports; below action threshold
+    TAKEDOWN = "takedown"        # enough evidence for a market request

@@ -8,19 +8,29 @@ Individual detections become collective action through three channels:
   app's key fingerprint home, letting the developer request a takedown;
 * **remote removal** -- once a market pulls the app, the effect
   propagates to every device.
+
+Since the ``repro.reporting`` subsystem exists, this module is a thin
+compatibility adapter: :class:`DetectionAggregator` keeps the original
+string-ingestion API (used by the small-scale examples and tests) but
+parses reports with the structured wire parser and counts them through
+a single-shard :class:`~repro.reporting.server.ReportServer` with an
+infinite takedown window -- the same dedup/threshold machinery the
+fleet-scale backend runs, minus the signature layer (this channel is
+authenticated out of band).  For anything bigger than a handful of
+sessions, use :class:`repro.reporting.ReportServer` directly.
 """
 
 from __future__ import annotations
 
-import enum
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
+from repro.reporting.server import ReportServer, TakedownPolicy
+from repro.reporting.verdicts import AggregatedVerdict
+from repro.reporting.wire import parse_report_text
 
-class AggregatedVerdict(enum.Enum):
-    CLEAN = "clean"
-    SUSPECT = "suspect"          # a few reports; below action threshold
-    TAKEDOWN = "takedown"        # enough evidence for a market request
+__all__ = ["AggregatedVerdict", "DetectionAggregator"]
 
 
 @dataclass
@@ -38,15 +48,41 @@ class DetectionAggregator:
 
     reports: List[str] = field(default_factory=list)
     ratings: List[int] = field(default_factory=list)
-    _foreign_keys: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # One logical shard, no time horizon: the legacy semantics are
+        # "count reports forever", which is the degenerate case of the
+        # sliding-window policy.
+        self._server = ReportServer(
+            shards=1,
+            policy=TakedownPolicy(
+                distinct_devices=self.report_threshold,
+                window_seconds=math.inf,
+            ),
+        )
+        self._server.register_app(self.app_name, self.original_key_hex)
 
     def ingest_report(self, report: str) -> None:
-        """Parse one ``android.net.report`` message from a device."""
+        """Parse one ``android.net.report`` message from a device.
+
+        Structured ``repackaged:v1:`` messages are parsed field-wise;
+        legacy free-form strings go through the tolerant path (free
+        text containing ``key=`` no longer derails extraction).
+        """
         self.reports.append(report)
-        if "key=" in report:
-            key = report.rsplit("key=", 1)[1].strip()
-            if key and key != self.original_key_hex:
-                self._foreign_keys[key] = self._foreign_keys.get(key, 0) + 1
+        fields = parse_report_text(report)
+        key = fields.get("key")
+        if key and key.lower() != self.original_key_hex.lower():
+            self._server.ingest_trusted(
+                self.app_name,
+                # The string channel carries no device identity; each
+                # report votes as its own device, preserving the legacy
+                # count-based threshold.
+                device_id=f"legacy-{len(self.reports)}",
+                observed_key_hex=key,
+                bomb_id=fields.get("bomb", ""),
+            )
+            self._server.process()
 
     def ingest_session(self, runtime) -> None:
         """Pull reports and synthesize a rating from one user session.
@@ -68,10 +104,10 @@ class DetectionAggregator:
         return sum(self.ratings) / len(self.ratings) if self.ratings else 0.0
 
     def verdict(self) -> Tuple[AggregatedVerdict, str]:
-        """The developer's decision and the offending key (if any)."""
-        if not self._foreign_keys:
-            return AggregatedVerdict.CLEAN, ""
-        key, count = max(self._foreign_keys.items(), key=lambda item: item[1])
-        if count >= self.report_threshold:
-            return AggregatedVerdict.TAKEDOWN, key
-        return AggregatedVerdict.SUSPECT, key
+        """The developer's decision and the offending key (if any).
+
+        Deterministic: the key with the most reports wins; equal counts
+        break toward the lexicographically greatest fingerprint (never
+        dict insertion order).
+        """
+        return self._server.verdict(self.app_name)

@@ -172,8 +172,16 @@ class Framework:
         return None
 
     def _report(self, args, budget):
+        """Deliver a developer report: record locally and, when the
+        device has a report client, send it through the signed wire
+        channel.  Delivery failures never crash the app -- the client
+        spools and the local record stands either way."""
         (message,) = args
-        self._runtime.reports.append(str(message))
+        runtime = self._runtime
+        runtime.reports.append(str(message))
+        client = runtime.report_client
+        if client is not None:
+            client.send_text(str(message), timestamp=runtime.device.clock)
         return None
 
     def _reflect_call(self, args, budget):

@@ -116,12 +116,17 @@ class Runtime:
         seed: int = 0,
         default_budget: int = 2_000_000,
         tracer=None,
+        report_client=None,
     ) -> None:
         self.device = device or DevicePopulation(seed=seed).sample()
         self.package = package
         self.rng = random.Random(seed)
         self.default_budget = default_budget
         self.tracer = tracer
+        #: Optional repro.reporting.ReportClient; when set, REPORT
+        #: responses flow through the signed wire channel as well as the
+        #: local `reports` list the evaluation harness reads.
+        self.report_client = report_client
 
         self.statics: Dict[str, object] = {}
         self._methods: Dict[str, DexMethod] = {}

@@ -1,0 +1,180 @@
+"""Device-side client: retry schedule, jitter bounds, spool, text channel."""
+
+import pytest
+
+from repro.crypto import RSAKeyPair
+from repro.errors import TransportError
+from repro.reporting import (
+    AggregatedVerdict,
+    ReportClient,
+    ReportServer,
+    SubmitStatus,
+    format_report_text,
+)
+
+PIRATE = "bb" * 20
+
+
+@pytest.fixture(scope="module")
+def attest_key():
+    return RSAKeyPair.generate(seed=51)
+
+
+class FlakyTransport:
+    """Fails the first ``failures`` calls, then delivers."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+        self.delivered = []
+
+    def __call__(self, signed):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransportError("uplink down")
+        self.delivered.append(signed)
+        return SubmitStatus.ACCEPTED
+
+
+def _send(client):
+    return client.report(
+        app_name="Game", bomb_id="b001", observed_key_hex=PIRATE, timestamp=1.0
+    )
+
+
+class TestRetrySchedule:
+    def test_succeeds_after_transient_failures(self, attest_key):
+        transport = FlakyTransport(failures=2)
+        client = ReportClient(transport, attest_key, "dev-1", jitter=0.0)
+        assert _send(client) is SubmitStatus.ACCEPTED
+        assert transport.calls == 3
+        assert client.retries == 2
+        assert client.delivered == 1
+        assert client.spooled == 0
+
+    def test_backoff_doubles_without_jitter(self, attest_key):
+        client = ReportClient(
+            FlakyTransport(failures=10),
+            attest_key,
+            "dev-1",
+            max_attempts=4,
+            base_backoff=0.5,
+            jitter=0.0,
+        )
+        _send(client)
+        # Three sleeps between four attempts: 0.5, 1.0, 2.0.
+        assert client.backoff_log == [0.5, 1.0, 2.0]
+        assert client.backoff_spent == pytest.approx(3.5)
+
+    def test_backoff_capped(self, attest_key):
+        client = ReportClient(
+            FlakyTransport(failures=10),
+            attest_key,
+            "dev-1",
+            max_attempts=6,
+            base_backoff=1.0,
+            max_backoff=3.0,
+            jitter=0.0,
+        )
+        _send(client)
+        assert client.backoff_log == [1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_jitter_stays_within_band(self, attest_key):
+        client = ReportClient(
+            FlakyTransport(failures=100),
+            attest_key,
+            "dev-1",
+            max_attempts=5,
+            base_backoff=1.0,
+            max_backoff=64.0,
+            jitter=0.25,
+            seed=7,
+        )
+        _send(client)
+        for attempt, delay in enumerate(client.backoff_log):
+            nominal = 1.0 * (2 ** attempt)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_sleep_callable_observes_delays(self, attest_key):
+        slept = []
+        client = ReportClient(
+            FlakyTransport(failures=10),
+            attest_key,
+            "dev-1",
+            max_attempts=3,
+            jitter=0.0,
+            sleep=slept.append,
+        )
+        _send(client)
+        assert slept == client.backoff_log
+
+
+class TestSpool:
+    def test_exhausted_retries_spool(self, attest_key):
+        client = ReportClient(
+            FlakyTransport(failures=10), attest_key, "dev-1", max_attempts=2, jitter=0.0
+        )
+        assert _send(client) is None
+        assert client.spooled == 1
+        assert client.last_status is None
+
+    def test_flush_after_transport_heals(self, attest_key):
+        transport = FlakyTransport(failures=99)
+        client = ReportClient(
+            transport, attest_key, "dev-1", max_attempts=2, jitter=0.0
+        )
+        _send(client)
+        _send(client)
+        assert client.spooled == 2
+        transport.failures = 0  # uplink restored
+        assert client.flush() == 2
+        assert client.spooled == 0
+        assert client.delivered == 2
+        # The spooled envelopes arrive signed and intact.
+        assert all(signed.verify() for signed in transport.delivered)
+
+    def test_flush_requeues_failures_at_back(self, attest_key):
+        transport = FlakyTransport(failures=10_000)
+        client = ReportClient(
+            transport, attest_key, "dev-1", max_attempts=1, jitter=0.0
+        )
+        _send(client)
+        _send(client)
+        first, second = list(client.spool)
+        assert client.flush() == 0
+        assert list(client.spool) == [first, second]  # rotated back in order
+
+    def test_spool_overflow_drops_oldest(self, attest_key):
+        client = ReportClient(
+            FlakyTransport(failures=10_000),
+            attest_key,
+            "dev-1",
+            max_attempts=1,
+            jitter=0.0,
+            spool_limit=2,
+        )
+        for _ in range(3):
+            _send(client)
+        assert client.spooled == 2
+        assert client.spool_dropped == 1
+
+    def test_jitter_out_of_range_rejected(self, attest_key):
+        with pytest.raises(ValueError):
+            ReportClient(lambda s: None, attest_key, "dev-1", jitter=1.5)
+
+
+class TestTextChannel:
+    def test_send_text_reaches_server(self, attest_key):
+        server = ReportServer(shards=2)
+        server.register_app("Game", "aa" * 20)
+        client = ReportClient(server.submit, attest_key, "dev-1")
+        text = format_report_text("Game", "b003") + PIRATE
+        assert client.send_text(text, timestamp=5.0) is SubmitStatus.ACCEPTED
+        server.process()
+        assert server.verdict("Game") == (AggregatedVerdict.SUSPECT, PIRATE)
+
+    def test_send_text_ignores_non_report_strings(self, attest_key):
+        calls = []
+        client = ReportClient(calls.append, attest_key, "dev-1")
+        assert client.send_text("just a log line, key=deadbeef") is None
+        assert calls == []

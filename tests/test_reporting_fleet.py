@@ -1,0 +1,162 @@
+"""Fleet driver: calibration, end-to-end takedown, adversarial injection."""
+
+import pytest
+
+from repro.reporting import (
+    AggregatedVerdict,
+    FleetConfig,
+    OutcomeModel,
+    ReportServer,
+    TakedownPolicy,
+    run_fleet,
+)
+from repro.userside import Market
+
+PIRATE = "bb" * 20
+ORIGINAL = "aa" * 20
+
+
+@pytest.fixture(scope="module")
+def pirate_model(pirated_apk):
+    """Outcome model calibrated from real interpreter sessions."""
+    return OutcomeModel.calibrate(pirated_apk, sessions=5, events=350, seed=0)
+
+
+class TestCalibration:
+    def test_pirated_app_yields_reporting_model(self, pirate_model, attacker_key):
+        assert pirate_model.report_rate > 0
+        assert pirate_model.observed_key_hex == attacker_key.public.fingerprint().hex()
+        assert pirate_model.bad_experience_rate > 0
+
+    def test_original_app_yields_silent_model(self, protected_apk):
+        model = OutcomeModel.calibrate(protected_apk, sessions=3, events=300, seed=0)
+        assert model.report_rate == 0.0
+        assert model.observed_key_hex == ""
+
+
+class TestEndToEnd:
+    def test_repackaged_app_reaches_takedown(
+        self, pirate_model, pirated_apk, attacker_key, developer_key
+    ):
+        """protect -> repackage -> fleet -> market takedown, full loop."""
+        market = Market(seed=4)
+        listing = market.publish("Game (free!)", pirated_apk)
+        original_key = developer_key.public.fingerprint().hex()
+        config = FleetConfig(
+            devices=4_000,
+            batch_size=1_000,
+            shards=4,
+            seed=2,
+            target_reports=200,
+        )
+        result = run_fleet(
+            "Game", original_key, pirate_model, config,
+            market=market, listing=listing,
+        )
+        assert result.verdict is AggregatedVerdict.TAKEDOWN
+        assert result.offender_key == attacker_key.public.fingerprint().hex()
+        assert result.takedown_clock is not None
+        assert listing.taken_down
+        assert market.active_installs(listing) == 0
+        assert result.statuses.get("accepted", 0) >= 3
+        # Detections sour the reviews along the way.
+        assert result.average_rating < 5.0
+        assert result.metrics["fleet.devices_simulated"] == 4_000
+
+    def test_original_app_stays_clean(self, protected_apk, developer_key):
+        model = OutcomeModel(
+            report_rate=0.0, observed_key_hex="", bad_experience_rate=0.0
+        )
+        market = Market(seed=4)
+        listing = market.publish("Game", protected_apk)
+        result = run_fleet(
+            "Game",
+            developer_key.public.fingerprint().hex(),
+            model,
+            FleetConfig(devices=4_000, batch_size=1_000, shards=4, seed=2),
+            market=market,
+            listing=listing,
+        )
+        assert result.verdict is AggregatedVerdict.CLEAN
+        assert result.reports_sent == 0
+        assert not listing.taken_down
+
+
+class TestAdversarialTraffic:
+    def _model(self):
+        return OutcomeModel(
+            report_rate=0.02, observed_key_hex=PIRATE, bad_experience_rate=0.3
+        )
+
+    def test_duplicates_and_forgeries_rejected(self):
+        config = FleetConfig(
+            devices=20_000,
+            batch_size=5_000,
+            shards=4,
+            seed=1,
+            duplicate_rate=0.5,
+            forge_rate=0.5,
+            target_reports=None,
+        )
+        server = ReportServer(shards=4)
+        result = run_fleet("Game", ORIGINAL, self._model(), config, server=server)
+        assert result.verdict is AggregatedVerdict.TAKEDOWN
+        assert result.statuses["duplicate"] > 0
+        assert result.statuses["bad_signature"] > 0
+        assert server.metrics.counter("reporting.rejected_forged").value \
+            == result.statuses["bad_signature"]
+        assert server.metrics.counter("reporting.duplicates_dropped").value \
+            == result.statuses["duplicate"]
+
+    def test_stale_replays_rejected(self):
+        config = FleetConfig(
+            devices=20_000,
+            batch_size=4_000,
+            shards=4,
+            seed=1,
+            replay_stale=True,
+            target_reports=None,
+        )
+        server = ReportServer(shards=4, max_report_age=50.0)
+        result = run_fleet("Game", ORIGINAL, self._model(), config, server=server)
+        assert result.statuses.get("replayed", 0) > 0
+        assert server.metrics.counter("reporting.rejected_replayed").value > 0
+
+    def test_flaky_transport_retries_and_recovers(self):
+        config = FleetConfig(
+            devices=10_000,
+            batch_size=2_000,
+            shards=4,
+            seed=3,
+            transport_failure_rate=0.3,
+            target_reports=None,
+        )
+        result = run_fleet("Game", ORIGINAL, self._model(), config)
+        assert result.client_retries > 0
+        assert result.statuses.get("accepted", 0) > 0
+        assert result.verdict is AggregatedVerdict.TAKEDOWN
+
+
+class TestBoundedMemory:
+    def test_peak_state_tracks_shards_not_devices(self):
+        model = OutcomeModel(
+            report_rate=1.0, observed_key_hex=PIRATE, bad_experience_rate=0.0
+        )
+
+        def peak(devices):
+            config = FleetConfig(
+                devices=devices,
+                batch_size=25_000,
+                shards=4,
+                seed=5,
+                target_reports=500,
+            )
+            return run_fleet("Game", ORIGINAL, model, config).peak_tracked_state
+
+        small, large = peak(50_000), peak(200_000)
+        # 4x the fleet, same report budget: bounded state must not scale
+        # with device count.
+        assert large <= small * 1.5 + 64
+        policy = TakedownPolicy()
+        cap = 4 * (4096 + policy.max_tracked_keys * (1 + policy.max_tracked_devices))
+        assert large <= cap

@@ -73,6 +73,37 @@ class TestAggregation:
             agg.ingest_report(f"r:key={'bb' * 20}")
         assert agg.verdict()[1] == "bb" * 20
 
+    def test_tie_breaks_on_key_not_insertion_order(self):
+        # Equal counts: the lexicographically greatest fingerprint wins,
+        # whichever order the reports arrived in.
+        for first, second in (("bb" * 20, "cc" * 20), ("cc" * 20, "bb" * 20)):
+            agg = self._aggregator()
+            agg.ingest_report(f"r:key={first}")
+            agg.ingest_report(f"r:key={second}")
+            assert agg.verdict()[1] == "cc" * 20
+
+    def test_free_text_mentioning_key_equals_not_derailed(self):
+        # The old rsplit("key=", 1) would have extracted "deadbeef and"
+        # from this and missed the real fingerprint entirely.
+        agg = self._aggregator()
+        agg.ingest_report(
+            f"user note: my api key=deadbeef and then key={'bb' * 20} showed up"
+        )
+        verdict, key = agg.verdict()
+        assert verdict is AggregatedVerdict.SUSPECT
+        assert key == "bb" * 20
+
+    def test_free_text_without_fingerprint_is_noise(self):
+        agg = self._aggregator()
+        agg.ingest_report("crash log: cache key=beef expired")
+        assert agg.verdict()[0] is AggregatedVerdict.CLEAN
+
+    def test_structured_wire_prefix_parses(self):
+        agg = self._aggregator()
+        for i in range(3):
+            agg.ingest_report(f"repackaged:v1:app=Game:bomb=b{i}:key={'dd' * 20}")
+        assert agg.verdict() == (AggregatedVerdict.TAKEDOWN, "dd" * 20)
+
     def test_ratings_drop_with_bad_experience(self, pirated_apk):
         agg = self._aggregator()
         runtime = Runtime(

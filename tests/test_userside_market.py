@@ -92,3 +92,63 @@ def test_suspect_verdict_takes_no_action(market, pirated_apk, attacker_key, deve
 def test_summary_readable(market, small_apk):
     market.publish("Game", small_apk)
     assert "downloads" in market.summary()
+
+
+def test_downloads_reproducible_with_explicit_rng(small_apk):
+    import random
+
+    def run(seed):
+        market = Market(seed=999)  # market's own seed must not matter
+        listing = market.publish("Game", small_apk)
+        rng = random.Random(seed)
+        per_record = [
+            market.download(f"u{i}", listing, rng=rng) is not None
+            for i in range(20)
+        ]
+        bulk = market.download_batch(listing, 1_000, rng=rng)
+        return per_record, bulk
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_download_batch_counts_and_gates(market, small_apk):
+    import random
+
+    listing = market.publish("Game", small_apk)
+    installed = market.download_batch(listing, 10_000, rng=random.Random(1))
+    # Neutral 3-star rating: ~55% proceed.
+    assert 4_500 <= installed <= 6_500
+    assert listing.downloads == installed
+    assert market.active_installs(listing) == installed
+    listing.taken_down = True
+    assert market.download_batch(listing, 100, rng=random.Random(1)) == 0
+
+
+def test_rate_batch_matches_individual_ratings(market, small_apk):
+    listing = market.publish("Game", small_apk)
+    market.rate_batch(listing, 1, 30)
+    market.rate_batch(listing, 5, 10)
+    assert listing.rating_count == 40
+    assert listing.average_rating == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        market.rate_batch(listing, 9, 1)
+    with pytest.raises(ValueError):
+        market.rate_batch(listing, 3, -1)
+
+
+def test_server_takedown_pulls_listing(market, pirated_apk, attacker_key, developer_key):
+    from repro.reporting import ReportServer, TakedownPolicy
+
+    listing = market.publish("Game (free!)", pirated_apk)
+    market.download_batch(listing, 500)
+    server = ReportServer(shards=2, policy=TakedownPolicy(distinct_devices=2))
+    server.register_app("Game", developer_key.public.fingerprint().hex())
+    offender = attacker_key.public.fingerprint().hex()
+    for device in ("d1", "d2"):
+        server.ingest_trusted("Game", device_id=device, observed_key_hex=offender)
+    server.process()
+    pulled = market.process_server_takedowns(server)
+    assert pulled == [listing]
+    assert listing.taken_down
+    assert market.active_installs(listing) == 0  # bulk installs wiped too
