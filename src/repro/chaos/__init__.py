@@ -1,0 +1,66 @@
+"""Chaos engineering for the reproduction: faults in, invariants out.
+
+The paper's core promise is *transparency*: instrumentation must never
+change a host app's behaviour except when tampering is detected.  This
+package stress-tests that promise the way ARMAND-style anti-tampering
+work demands -- under a hostile, partially broken environment:
+
+``faults``   the deterministic fault-injection substrate: named fault
+             points woven into the AES/KDF, dex deserialization,
+             dynamic class loading, framework syscalls, the interpreter
+             budget, report transport and the client spool, armed by a
+             seeded :class:`FaultPlan`
+``harness``  the ``repro chaos`` driver: runs protect -> install ->
+             play -> repackage -> report under a seeded fault matrix
+             and checks the containment invariants (host output
+             unchanged when bombs are dormant or contained, intact
+             bombs still detect, the server never double-counts, the
+             spool recovers from corruption)
+
+``faults`` is import-light on purpose (the VM and reporting layers call
+its ``fault_point`` hook); the harness pulls in the whole pipeline and
+is therefore loaded lazily via module ``__getattr__``.
+"""
+
+from repro.chaos.faults import (
+    FAULT_SITES,
+    ArmedFault,
+    FaultPlan,
+    FaultRecord,
+    active_plan,
+    clear_plan,
+    current_plan,
+    fault_point,
+    install_plan,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "ArmedFault",
+    "FaultPlan",
+    "FaultRecord",
+    "active_plan",
+    "clear_plan",
+    "current_plan",
+    "fault_point",
+    "install_plan",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosRunner",
+    "TrialRecord",
+    "run_chaos",
+]
+
+_HARNESS_NAMES = {
+    "ChaosConfig", "ChaosReport", "ChaosRunner", "TrialRecord", "run_chaos",
+}
+
+
+def __getattr__(name: str):
+    # Lazy: harness imports the VM, which imports repro.chaos.faults --
+    # resolving it here at first use keeps that edge acyclic.
+    if name in _HARNESS_NAMES:
+        from repro.chaos import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,6 +12,7 @@
     python -m repro serve-reports --app Game --key-hex <fp> --reports r.jsonl
     python -m repro fleet     --in pirated.apk --original protected.apk \
                               --devices 1000000
+    python -m repro chaos     --seed 7 --trials 25 [--verify-replay]
 
 APK files on disk are the serialized entry container (a simple binary
 framing of the entries, manifest and certificate).
@@ -30,8 +31,21 @@ from repro.apk.signing import Certificate
 from repro.core import BombDroid, BombDroidConfig
 from repro.corpus import NAMED_APPS, build_app, build_named_app
 from repro.crypto import RSAKeyPair
-from repro.errors import ApkError, VMError
+from repro.errors import (
+    ApkError,
+    ReproError,
+    VerificationError,
+    VMCrash,
+    VMError,
+)
 from repro.repack import repackage
+
+#: Exit codes, so chaos/CI scripting can distinguish failure classes.
+EXIT_OK = 0
+EXIT_FAILURE = 1        # generic library error / failed check
+EXIT_USAGE = 2          # bad invocation (argparse also uses 2)
+EXIT_VERIFICATION = 3   # a verification gate / invariant failed
+EXIT_CRASH = 4          # the VM crashed
 
 
 # ---------------------------------------------------------------------------
@@ -138,7 +152,7 @@ def _cmd_inspect(args) -> int:
     try:
         apk.verify()
         status = "signature OK"
-    except Exception as exc:
+    except ReproError as exc:
         status = f"signature INVALID ({exc})"
     dex = apk.dex()
     print(f"signer: {apk.cert.fingerprint_hex()}  [{status}]")
@@ -177,14 +191,14 @@ def _cmd_lint(args) -> int:
         return 0
     if getattr(args, "in") is None:
         print("error: --in is required (or use --list-rules)", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     apk = load_apk(getattr(args, "in"))
     rules = [r for r in args.rules.split(",") if r] if args.rules else None
     try:
         diagnostics = run_lint(apk.dex(), rules=rules)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.json:
         print(json.dumps([d.to_dict() for d in sort_diagnostics(diagnostics)], indent=2))
     else:
@@ -270,7 +284,7 @@ def _cmd_serve_reports(args) -> int:
         original_key = load_apk(getattr(args, "in")).cert.fingerprint_hex()
     else:
         print("error: need --key-hex or --in (the original APK)", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     server = ReportServer(
         shards=args.shards,
         queue_capacity=args.queue_capacity,
@@ -326,7 +340,7 @@ def _cmd_fleet(args) -> int:
     else:
         print("error: need --original (the genuine APK) or --key-hex",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     app_name = args.app or apk.resources().app_name
 
     print(f"calibrating outcome model from {args.sessions} play sessions...")
@@ -367,6 +381,39 @@ def _cmd_fleet(args) -> int:
     # reached a takedown -- the pipeline failed at its one job.
     failed = model.observed_key_hex and result.verdict is not AggregatedVerdict.TAKEDOWN
     return 1 if failed else 0
+
+
+def _cmd_chaos(args) -> int:
+    """Run the seeded fault matrix and check containment invariants."""
+    import json
+
+    from repro.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        trials=args.trials,
+        scale=args.scale,
+        events=args.events,
+        devices=args.devices,
+        strict=args.strict,
+    )
+    report = run_chaos(config)
+    replay_ok = True
+    if args.verify_replay:
+        replay_ok = run_chaos(config).digest() == report.digest()
+    if args.json:
+        payload = report.to_dict()
+        payload["replay_verified"] = replay_ok if args.verify_replay else None
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.summary())
+        if args.verify_replay:
+            print("replay: " + ("identical" if replay_ok else "DIVERGED"))
+    if not replay_ok:
+        print(f"error: re-running seed {args.seed} produced a different "
+              "event log", file=sys.stderr)
+        return EXIT_VERIFICATION
+    return EXIT_OK if report.ok else EXIT_VERIFICATION
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -490,12 +537,46 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--transport-failure-rate", type=float, default=0.0)
     fleet.set_defaults(func=_cmd_fleet)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection matrix with containment invariants",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--trials", type=int, default=25)
+    chaos.add_argument("--scale", type=float, default=0.4,
+                       help="generated app size factor")
+    chaos.add_argument("--events", type=int, default=600,
+                       help="UI events per play session")
+    chaos.add_argument("--devices", type=int, default=2,
+                       help="distinct pirate devices rotated across trials")
+    chaos.add_argument("--strict", action="store_true",
+                       help="re-raise contained failures (debugging)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    chaos.add_argument("--verify-replay", action="store_true",
+                       help="run the matrix twice and require identical "
+                            "replay digests")
+    chaos.set_defaults(func=_cmd_chaos)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except VerificationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_VERIFICATION
+    except VMError as exc:
+        detail = ""
+        if isinstance(exc, VMCrash) and (exc.bomb_id or exc.site):
+            detail = f" (bomb={exc.bomb_id or '?'}, site={exc.site or '?'})"
+        print(f"error: VM crashed: {exc}{detail}", file=sys.stderr)
+        return EXIT_CRASH
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

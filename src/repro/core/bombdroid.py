@@ -42,7 +42,7 @@ from repro.dex.hashing import method_instruction_hash
 from repro.dex.model import DexFile, DexMethod
 from repro.dex.opcodes import Op, UNCONDITIONAL_EXITS
 from repro.dex.serializer import serialize_dex
-from repro.errors import InstrumentationError
+from repro.errors import InstrumentationError, ReproError
 from repro.fuzzing.generators import DynodroidGenerator
 from repro.vm.device import DevicePopulation
 from repro.vm.runtime import Runtime
@@ -203,7 +203,9 @@ class BombDroid:
         )
         try:
             runtime.boot()
-        except Exception:
+        except ReproError:
+            # A crashing app still gets profiled (and protected); only
+            # the library's own failures are expected here.
             pass
         generator = DynodroidGenerator(dex, seed=config.seed)
         entropy = FieldValueProfiler()

@@ -38,7 +38,7 @@ from repro.dex.builder import MethodBuilder
 from repro.dex.instructions import Instr
 from repro.dex.model import DexClass, DexField, DexFile
 from repro.dex.opcodes import Op
-from repro.dex.serializer import serialize_dex
+from repro.dex.serializer import deserialize_dex, serialize_dex
 from repro.errors import InstrumentationError
 
 #: Control-slot protocol.
@@ -240,3 +240,15 @@ def encrypt_payload(dex: DexFile, constant, salt: Salt) -> bytes:
     """Serialize and encrypt a payload under ``KDF(constant | salt)``."""
     key = derive_key(constant, salt)
     return AES128(key).encrypt_cbc(serialize_dex(dex), PAYLOAD_IV)
+
+
+def decrypt_payload(ciphertext: bytes, constant, salt: Salt) -> DexFile:
+    """Inverse of :func:`encrypt_payload`, for tooling and tests.
+
+    At runtime the VM decrypts through the ``bomb.decrypt`` framework
+    call so failures hit the containment boundary; this helper raises
+    the raw taxonomy instead (``BadPaddingError``/``CryptoError`` under
+    a wrong key, ``DexFormatError`` for a corrupt blob).
+    """
+    key = derive_key(constant, salt)
+    return deserialize_dex(AES128(key).decrypt_cbc(ciphertext, PAYLOAD_IV))

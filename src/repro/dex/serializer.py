@@ -15,14 +15,21 @@ Format (all integers big-endian)::
       method: str name | u16 params | u16 registers | u32 #instrs | instrs
       instr: u8 opcode | u8 flags | [u16 dst] [u16 a] [u16 b]
              [value] [str target] [u8 #args, u16 each]
+    u32 crc32 of everything before it      (version >= 2)
 
 Strings are u32-length-prefixed UTF-8.  Values are type-tagged
 (null/bool/int/str/bytes/switch-table).
+
+Version 2 appends a crc32 footer so that storage rot (a bit flip in a
+cached payload, say) is always detected as :class:`DexFormatError`
+rather than parsing into a structurally valid but wrong program.
+Version 1 blobs (no footer) are still accepted.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import List, Tuple
 
 from repro.dex.instructions import Instr
@@ -39,7 +46,9 @@ def _unpack_from(fmt: str, blob: bytes, offset: int):
 
 
 MAGIC = b"RDEX"
-VERSION = 1
+VERSION = 2
+_LEGACY_VERSION = 1
+_CRC_SIZE = 4
 
 # Stable opcode numbering derived from definition order of the Op enum.
 _OP_TO_CODE = {op: index for index, op in enumerate(Op)}
@@ -233,7 +242,8 @@ def serialize_dex(dex: DexFile) -> bytes:
             out.append(struct.pack(">HHI", method.params, method.registers, len(method.instructions)))
             for instr in method.instructions:
                 out.append(_pack_instr(instr))
-    return b"".join(out)
+    body = b"".join(out)
+    return body + struct.pack(">I", zlib.crc32(body))
 
 
 def deserialize_dex(blob: bytes) -> DexFile:
@@ -246,8 +256,15 @@ def deserialize_dex(blob: bytes) -> DexFile:
     if blob[:4] != MAGIC:
         raise DexFormatError("bad magic (not an RDEX blob)")
     (version,) = _unpack_from(">H", blob, 4)
-    if version != VERSION:
+    if version not in (VERSION, _LEGACY_VERSION):
         raise DexFormatError(f"unsupported version {version}")
+    if version >= 2:
+        if len(blob) < 8 + _CRC_SIZE:
+            raise DexFormatError("truncated dex blob: missing crc footer")
+        (expected_crc,) = _unpack_from(">I", blob, len(blob) - _CRC_SIZE)
+        blob = blob[: len(blob) - _CRC_SIZE]
+        if zlib.crc32(blob) != expected_crc:
+            raise DexFormatError("crc mismatch (corrupt dex blob)")
     (class_count,) = _unpack_from(">H", blob, 6)
     offset = 8
     dex = DexFile()

@@ -43,6 +43,36 @@ class VMCrash(VMError):
 
     Repackaging responses intentionally raise this; a deleted woven bomb
     also surfaces as a crash because the original app code is gone.
+
+    ``bomb_id`` and ``site`` are attached when the crash originates in
+    bomb infrastructure (payload decrypt, dynamic class load...), so
+    chaos harnesses and debuggers can attribute the failure without
+    string-parsing the message.
+    """
+
+    def __init__(self, message: str = "", bomb_id: str = None, site: str = None):
+        super().__init__(message)
+        self.bomb_id = bomb_id
+        self.site = site
+
+
+class PayloadError(VMCrash):
+    """A bomb payload's infrastructure failed (decrypt, deserialize,
+    class load, or interpretation -- not a deliberate response).
+
+    Under a :class:`repro.vm.containment.ContainmentPolicy` these are
+    caught at the bomb boundary, recorded as ``payload_error`` events,
+    and execution falls through to the original branch semantics; in
+    ``strict`` mode the policy re-raises this class for debugging.
+    """
+
+
+class ContainmentBreach(VMError):
+    """A non-library exception escaped the bomb containment boundary.
+
+    Containment only ever swallows the library's own taxonomy; anything
+    else is a genuine bug in the reproduction machinery and is wrapped
+    in this class so it is loud rather than silently degraded.
     """
 
 
@@ -106,6 +136,19 @@ class TransportError(ReportingError):
     the client answers with retry/backoff and, past its attempt budget,
     an offline spool.
     """
+
+
+class FaultInjected(ReproError):
+    """An armed :class:`repro.chaos.FaultPlan` fired at a fault point.
+
+    Raised by ``raise``-mode injectors (unless the arm specifies a more
+    realistic exception type such as :class:`TransportError`); carries
+    the fault site for attribution.
+    """
+
+    def __init__(self, message: str = "", site: str = None):
+        super().__init__(message)
+        self.site = site
 
 
 class AttackError(ReproError):

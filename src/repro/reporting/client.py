@@ -24,10 +24,12 @@ to :meth:`send_text`, which parses it into a wire report.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from repro.chaos.faults import fault_point
 from repro.crypto.rsa import RSAKeyPair
 from repro.errors import TransportError
 from repro.reporting.wire import (
@@ -135,6 +137,7 @@ class ReportClient:
         self.last_status = None
         for attempt in range(self.max_attempts):
             try:
+                fault_point("report.transport")
                 status = self._transport(signed)
             except TransportError:
                 self.retries += 1
@@ -173,7 +176,15 @@ class ReportClient:
         delivered = 0
         for _ in range(len(self.spool)):
             signed = self.spool.popleft()
+            # Spooled reports sat on flash; a chaos plan may rot their
+            # signature bytes.  The server then rejects the report
+            # (BAD_SIGNATURE) -- flush still completes and the spool
+            # still drains, which is the recovery invariant.
+            signature = fault_point("client.spool", signed.signature)
+            if signature is not signed.signature:
+                signed = dataclasses.replace(signed, signature=signature)
             try:
+                fault_point("report.transport")
                 status = self._transport(signed)
             except TransportError:
                 self.retries += 1

@@ -11,6 +11,8 @@ Components:
 ``interpreter``  the bytecode interpreter with tracing hooks
 ``runtime``      class loading (including dynamic loading of decrypted
                  bomb payloads), static state, app installation
+``containment``  graceful degradation for bomb-infrastructure failures
+                 (ContainmentPolicy, per-bomb circuit breaker)
 """
 
 from repro.vm.values import Instance, to_int32, truthy
@@ -22,6 +24,7 @@ from repro.vm.device import (
 )
 from repro.vm.events import Event, EventKind, handler_name_for
 from repro.vm.interpreter import Interpreter, Tracer, CoverageTracer, CountingTracer
+from repro.vm.containment import CircuitBreaker, ContainmentPolicy, fall_through
 from repro.vm.runtime import Runtime, BombRegistry, BombEvent
 
 __all__ = [
@@ -39,6 +42,9 @@ __all__ = [
     "Tracer",
     "CoverageTracer",
     "CountingTracer",
+    "CircuitBreaker",
+    "ContainmentPolicy",
+    "fall_through",
     "Runtime",
     "BombRegistry",
     "BombEvent",

@@ -30,8 +30,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.chaos.faults import fault_point
 from repro.crypto import AES128, Salt, derive_key, encode_value, sha1_hex
-from repro.errors import BadPaddingError, CryptoError, VMCrash
+from repro.errors import (
+    BadPaddingError,
+    ContainmentBreach,
+    CryptoError,
+    FaultInjected,
+    PayloadError,
+    ReproError,
+    VMCrash,
+    VMError,
+)
+from repro.vm.containment import fall_through
 from repro.vm.values import require_int, to_int32
 
 #: Cost (in interpreter units) of each framework call, on top of the
@@ -66,6 +77,7 @@ class Framework:
         handler = self._handlers.get(name)
         if handler is None:
             raise VMCrash(f"unknown method {name!r}")
+        fault_point("vm.framework", device=self._runtime.device)
         self._runtime.cost_units += CALL_COSTS.get(name, _DEFAULT_COST)
         return handler(args, budget)
 
@@ -314,21 +326,78 @@ class Framework:
     def _bomb_derive(self, args, budget):
         """AES key from the live trigger operand (never from a constant)."""
         value, salt_hex = args
+        runtime = self._runtime
         try:
-            return derive_key(value, Salt(bytes.fromhex(salt_hex)))
-        except TypeError as exc:
-            raise VMCrash(str(exc)) from None
+            key = derive_key(value, Salt(bytes.fromhex(salt_hex)))
+            return fault_point("crypto.kdf.derive", key, device=runtime.device)
+        except (TypeError, FaultInjected) as exc:
+            if runtime.containment is not None:
+                # Degrade to a key that cannot decrypt anything: the
+                # failure is then attributed (with a bomb id) at the
+                # decrypt boundary, where containment handles it.
+                return b"\x00" * 16
+            raise VMCrash(str(exc), site="crypto.kdf.derive") from None
+
+    # -- containment boundary -------------------------------------------
+
+    def _contain(self, bomb_id: str, site: str, exc, fallback):
+        """Handle one bomb-infrastructure failure.
+
+        Legacy (no policy): crash through, now with attribution.
+        Contained: record ``payload_error``, feed the circuit breaker
+        (``quarantined`` on trip), and return ``fallback`` so the
+        instrumented site resumes with its original branch semantics.
+        Strict policies re-raise as PayloadError after recording.
+        """
+        runtime = self._runtime
+        policy = runtime.containment
+        if policy is None:
+            if isinstance(exc, VMCrash):
+                raise exc
+            raise VMCrash(
+                f"bomb {bomb_id} failed at {site}: {exc}",
+                bomb_id=bomb_id, site=site,
+            ) from None
+        runtime.bombs.record(bomb_id, "payload_error")
+        if runtime.breaker.failure(bomb_id):
+            runtime.bombs.record(bomb_id, "quarantined")
+        if policy.strict:
+            raise PayloadError(
+                f"bomb {bomb_id} failed at {site}: {exc}",
+                bomb_id=bomb_id, site=site,
+            ) from exc
+        return fallback
 
     def _bomb_decrypt(self, args, budget):
-        """Decrypt a payload blob; wrong keys crash (bad padding)."""
+        """Decrypt a payload blob; wrong keys crash (bad padding).
+
+        Under containment a failed decrypt (or a quarantined bomb)
+        yields the empty-blob sentinel, which ``bomb.load_run`` turns
+        into a fall-through -- the host app never sees the failure.
+        """
         ciphertext, key, bomb_id = args
         if not isinstance(ciphertext, bytes) or not isinstance(key, bytes):
             raise VMCrash("bomb.decrypt expects bytes arguments")
+        runtime = self._runtime
+        if runtime.containment is not None and runtime.breaker.is_quarantined(bomb_id):
+            runtime.bombs.record(bomb_id, "payload_skipped")
+            return b""
         try:
+            ciphertext = fault_point(
+                "crypto.aes.decrypt", ciphertext, device=runtime.device
+            )
             blob = AES128(key).decrypt_cbc(ciphertext, b"\x00" * 16)
-        except (BadPaddingError, CryptoError) as exc:
-            raise VMCrash(f"payload decryption failed: {exc}") from None
-        self._runtime.bombs.record(bomb_id, "outer_satisfied")
+        except (BadPaddingError, CryptoError, FaultInjected) as exc:
+            return self._contain(
+                bomb_id,
+                "crypto.aes.decrypt",
+                VMCrash(
+                    f"payload decryption failed: {exc}",
+                    bomb_id=bomb_id, site="crypto.aes.decrypt",
+                ),
+                fallback=b"",
+            )
+        runtime.bombs.record(bomb_id, "outer_satisfied")
         return blob
 
     def _bomb_load_run(self, args, budget):
@@ -337,13 +406,57 @@ class Framework:
 
         Loading is cached by blob digest ("the code decryption is
         one-time effort by caching it in memory", Section 8.4).
+
+        This is the containment boundary around payload execution:
+        load/deserialize failures and *accidental* interpretation
+        failures are contained; deliberate responses (which record a
+        ``responded`` marker first) always propagate.
         """
         blob, entry, register_array, bomb_id = args
         if not isinstance(blob, bytes):
             raise VMCrash("bomb.load_run expects a bytes blob")
-        self._runtime.bombs.record(bomb_id, "payload_run")
-        method = self._runtime.load_blob_method(blob, entry)
-        return self._runtime.interpreter._run_frame(method, [register_array], budget, depth=1)
+        runtime = self._runtime
+        policy = runtime.containment
+        if policy is not None and (
+            blob == b"" or runtime.breaker.is_quarantined(bomb_id)
+        ):
+            # Decrypt already contained this firing (or the bomb is
+            # quarantined): resume original branch semantics.
+            return fall_through(register_array)
+        runtime.bombs.record(bomb_id, "payload_run")
+        try:
+            method = runtime.load_blob_method(blob, entry, bomb_id=bomb_id)
+        except (VMCrash, FaultInjected) as exc:
+            site = getattr(exc, "site", None) or "vm.classload"
+            return self._contain(
+                bomb_id, site, exc, fallback=fall_through(register_array)
+            )
+        responded_before = runtime.bombs.counts.get(bomb_id, {}).get("responded", 0)
+        try:
+            result = runtime.interpreter.run_payload(
+                method, [register_array], budget, policy
+            )
+        except (VMError, FaultInjected) as exc:
+            responded = runtime.bombs.counts.get(bomb_id, {}).get("responded", 0)
+            if policy is None or responded > responded_before:
+                # Deliberate response (crash / endless loop), or legacy
+                # crash-through semantics: never contained.
+                raise
+            return self._contain(
+                bomb_id,
+                getattr(exc, "site", None) or "vm.interpreter",
+                exc,
+                fallback=fall_through(register_array),
+            )
+        except ReproError:
+            raise
+        except Exception as exc:  # pragma: no cover - library bug guard
+            raise ContainmentBreach(
+                f"non-library failure escaped bomb {bomb_id}: {exc!r}"
+            ) from exc
+        if policy is not None:
+            runtime.breaker.success(bomb_id)
+        return result
 
     def _bomb_sha1_hex(self, args, budget):
         """SHA-1 of a string or bytes value, as hex (code scanning)."""

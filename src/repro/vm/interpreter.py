@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.chaos.faults import fault_point
 from repro.dex.model import DexMethod
 from repro.dex.opcodes import Op
 from repro.errors import BudgetExhausted, VMCrash
@@ -98,6 +99,25 @@ class Interpreter:
         """
         state = [budget if budget is not None else self._runtime.default_budget]
         return self._run_frame(method, args, state, depth)
+
+    def run_payload(self, method: DexMethod, args: List, budget: List[int], policy):
+        """Run a bomb payload frame, under a sub-budget when contained.
+
+        Without a containment ``policy`` this is exactly the shared-
+        budget frame run the instrumented INVOKE would have made.  With
+        one, the payload gets ``min(remaining, policy.payload_budget)``
+        instructions of its own (the ``vm.budget`` fault site can clamp
+        it further); whatever it consumes is still charged to the host
+        budget, but a payload that spins can no longer drain the host.
+        """
+        if policy is None:
+            return self._run_frame(method, args, budget, depth=1)
+        cap = fault_point("vm.budget", min(budget[0], policy.payload_budget))
+        sub = [cap]
+        try:
+            return self._run_frame(method, args, sub, depth=1)
+        finally:
+            budget[0] -= cap - sub[0]
 
     # -- core loop -------------------------------------------------------------
 

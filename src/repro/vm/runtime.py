@@ -18,10 +18,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.chaos.faults import fault_point
 from repro.crypto import sha1
 from repro.dex.model import DexFile, DexMethod
 from repro.dex.serializer import deserialize_dex
-from repro.errors import DexFormatError, MethodNotFound, VMCrash
+from repro.errors import DexError, DexFormatError, MethodNotFound, VMCrash
+from repro.vm.containment import CircuitBreaker, ContainmentPolicy
 from repro.vm.device import DeviceProfile, DevicePopulation
 from repro.vm.events import Event, handler_name_for
 from repro.vm.framework import Framework
@@ -117,6 +119,7 @@ class Runtime:
         default_budget: int = 2_000_000,
         tracer=None,
         report_client=None,
+        containment: Optional[ContainmentPolicy] = None,
     ) -> None:
         self.device = device or DevicePopulation(seed=seed).sample()
         self.package = package
@@ -127,6 +130,13 @@ class Runtime:
         #: responses flow through the signed wire channel as well as the
         #: local `reports` list the evaluation harness reads.
         self.report_client = report_client
+        #: Optional ContainmentPolicy; when set, bomb-infrastructure
+        #: failures are contained at the ``bomb.*`` boundary instead of
+        #: crashing the host (see repro.vm.containment).
+        self.containment = containment
+        self.breaker = CircuitBreaker(
+            containment.max_consecutive_failures if containment else 0
+        )
 
         self.statics: Dict[str, object] = {}
         self._methods: Dict[str, DexMethod] = {}
@@ -148,31 +158,72 @@ class Runtime:
 
     # -- class loading --------------------------------------------------------
 
-    def load_dex(self, dex: DexFile) -> None:
-        """Register a DexFile's classes: methods and static fields."""
+    def load_dex(self, dex: DexFile, origin: str = "app") -> None:
+        """Register a DexFile's classes: methods and static fields.
+
+        Registration is two-phase: every qualified name is checked for
+        collisions against the already-loaded set *before* anything is
+        committed, so a hostile payload can neither shadow an app method
+        nor leave the method table half-polluted on failure.
+        """
+        incoming = []
         for cls in dex.classes.values():
             for method in cls.methods.values():
-                self._methods[method.qualified_name] = method
+                existing = self._methods.get(method.qualified_name)
+                if existing is not None and existing is not method:
+                    raise VMCrash(
+                        f"{origin} redefines {method.qualified_name!r} "
+                        "(dynamic code may not shadow loaded methods)",
+                        site="vm.classload",
+                    )
+                incoming.append(method)
+        for method in incoming:
+            self._methods[method.qualified_name] = method
+        for cls in dex.classes.values():
             for f in cls.static_fields():
                 key = f"{cls.name}.{f.name}"
                 self.statics.setdefault(key, f.initial)
 
-    def load_blob_method(self, blob: bytes, qualified_name: str) -> DexMethod:
+    def load_blob_method(
+        self, blob: bytes, qualified_name: str, bomb_id: str = None
+    ) -> DexMethod:
         """Dynamically load a serialized dex blob (decrypted payload) and
-        return the requested method.  Cached by content digest."""
+        return the requested method.  Cached by content digest.
+
+        Validation happens *before* the blob is cached or its classes
+        registered: a payload that parses but lacks the entry method (or
+        collides with a loaded name) leaves ``_methods``/``statics``
+        untouched.
+        """
+        blob = fault_point("dex.deserialize", blob, device=self.device)
         digest = sha1(blob)
         dex = self._blob_cache.get(digest)
-        if dex is None:
+        if dex is not None:
             try:
-                dex = deserialize_dex(blob)
-            except DexFormatError as exc:
-                raise VMCrash(f"corrupt payload blob: {exc}") from None
-            self._blob_cache[digest] = dex
-            self.load_dex(dex)
+                return dex.get_method(qualified_name)
+            except DexError:
+                raise VMCrash(
+                    f"payload has no method {qualified_name!r}",
+                    bomb_id=bomb_id, site="vm.classload",
+                ) from None
         try:
-            return dex.get_method(qualified_name)
-        except Exception:
-            raise VMCrash(f"payload has no method {qualified_name!r}") from None
+            dex = deserialize_dex(blob)
+        except DexFormatError as exc:
+            raise VMCrash(
+                f"corrupt payload blob: {exc}",
+                bomb_id=bomb_id, site="dex.deserialize",
+            ) from None
+        try:
+            method = dex.get_method(qualified_name)
+        except DexError:
+            raise VMCrash(
+                f"payload has no method {qualified_name!r}",
+                bomb_id=bomb_id, site="vm.classload",
+            ) from None
+        fault_point("vm.classload", device=self.device)
+        self.load_dex(dex, origin=f"payload {qualified_name.rsplit('.', 1)[0]}")
+        self._blob_cache[digest] = dex
+        return method
 
     def find_method(self, qualified_name: str) -> Optional[DexMethod]:
         return self._methods.get(qualified_name)
@@ -238,5 +289,6 @@ class Runtime:
         method = self.find_method(handler)
         if method is None:
             raise MethodNotFound(handler)
+        fault_point("vm.clock", device=self.device)
         self.device.advance(Event.DURATION)
         return self.invoke(handler, list(event.args), budget=budget)

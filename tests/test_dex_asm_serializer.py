@@ -143,9 +143,28 @@ class TestSerializerErrors:
             deserialize_dex(blob[:-3])
 
     def test_trailing_garbage(self):
+        # With the v2 crc footer, appended junk shifts the footer and is
+        # diagnosed as corruption before the parser ever runs.
         blob = serialize_dex(assemble(".class A\n.method m 0\nreturn_void\n.end"))
-        with pytest.raises(DexFormatError, match="trailing"):
+        with pytest.raises(DexFormatError, match="crc mismatch"):
             deserialize_dex(blob + b"junk")
+
+    def test_trailing_garbage_legacy_v1(self):
+        # Legacy v1 blobs have no footer; the parser still refuses to
+        # leave unconsumed bytes behind.
+        blob = serialize_dex(assemble(".class A\n.method m 0\nreturn_void\n.end"))
+        legacy = blob[:4] + b"\x00\x01" + blob[6:-4]
+        assert deserialize_dex(legacy).classes  # v1 still parses
+        with pytest.raises(DexFormatError, match="trailing"):
+            deserialize_dex(legacy + b"junk")
+
+    def test_bit_flip_always_detected(self):
+        blob = serialize_dex(assemble(".class A\n.method m 0\nreturn_void\n.end"))
+        for byte_index in range(6, len(blob)):
+            corrupted = bytearray(blob)
+            corrupted[byte_index] ^= 0x40
+            with pytest.raises(DexFormatError):
+                deserialize_dex(bytes(corrupted))
 
     def test_random_bytes_rejected(self):
         with pytest.raises(DexFormatError):
