@@ -86,3 +86,99 @@ def test_memory_is_o_shards_not_o_devices(fleet_result):
     # never the device count.
     quarter = _run(max(1000, DEVICES // 4))
     assert fleet_result.peak_tracked_state <= quarter.peak_tracked_state * 1.5 + 64
+
+
+def _timed_ingest(signed_reports, data_dir=None):
+    import time
+
+    from repro.reporting import ReportServer
+
+    server = ReportServer(shards=8, data_dir=data_dir, snapshot_every=10**9)
+    server.register_app("Game", "aa" * 20)
+    started = time.perf_counter()
+    for signed in signed_reports:
+        server.submit(signed)
+    server.process()
+    elapsed = time.perf_counter() - started
+    verdicts = server.verdicts()
+    if data_dir is not None:
+        server.crash()
+    return elapsed, verdicts, server
+
+
+def test_wal_ingest_overhead_under_2x(tmp_path):
+    """Journaling every accepted report must cost < 2x in-memory ingest
+    (RSA signature verification dominates the submit path)."""
+    from repro.crypto import RSAKeyPair
+    from repro.reporting import DetectionReport, sign_report
+
+    attest = RSAKeyPair.generate(seed=9)
+    count = max(300, int(1500 * SCALE))
+    signed = [
+        sign_report(
+            DetectionReport(
+                app_name="Game", bomb_id=f"b{i % 8}",
+                device_id=f"dev-{i:06d}", observed_key_hex="bb" * 20,
+                timestamp=float(i) / 10.0, nonce=10_000 + i,
+            ),
+            attest,
+        )
+        for i in range(count)
+    ]
+
+    # Warm-up pass so neither timed run pays first-touch costs.
+    _timed_ingest(signed[: count // 10])
+    memory_s, memory_verdicts, _ = _timed_ingest(signed)
+    walled_s, walled_verdicts, walled = _timed_ingest(
+        signed, data_dir=str(tmp_path / "state")
+    )
+    assert walled_verdicts == memory_verdicts
+    # + the register record and the journaled takedown transition
+    assert walled.metrics.counter("wal.appends").value == count + 2
+    assert walled_s <= 2.0 * memory_s, (
+        f"WAL ingest {walled_s:.3f}s vs in-memory {memory_s:.3f}s "
+        f"({walled_s / memory_s:.2f}x, budget 2.00x)"
+    )
+
+
+def test_torn_final_record_recovers(tmp_path):
+    """Acceptance gate: a torn final WAL record is detected exactly once
+    and every acked report survives recovery."""
+    import os
+    import struct
+
+    from repro.crypto import RSAKeyPair
+    from repro.reporting import DetectionReport, ReportServer, sign_report
+
+    data_dir = str(tmp_path / "state")
+    attest = RSAKeyPair.generate(seed=9)
+    server = ReportServer(shards=8, data_dir=data_dir)
+    server.register_app("Game", "aa" * 20)
+    accepted = []
+    for i in range(64):
+        signed = sign_report(
+            DetectionReport(
+                app_name="Game", bomb_id="b0", device_id=f"dev-{i:04d}",
+                observed_key_hex="bb" * 20, timestamp=float(i),
+                nonce=50_000 + i,
+            ),
+            attest,
+        )
+        server.submit(signed)
+        accepted.append(signed)
+    server.process()
+    expected = server.verdicts()
+    server.crash()
+    with open(os.path.join(data_dir, "wal-000.log"), "ab") as handle:
+        handle.write(struct.pack(">II", 64, 0xDEADBEEF) + b"\x00" * 10)
+
+    recovered = ReportServer.recover(data_dir, shards=8)
+    assert recovered.metrics.counter("recovery.torn_records").value == 1
+    recovered.process()
+    assert recovered.verdicts() == expected
+    from repro.reporting import SubmitStatus
+
+    assert all(
+        recovered.submit(s) is SubmitStatus.DUPLICATE for s in accepted
+    )
+    recovered.close()

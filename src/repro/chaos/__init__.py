@@ -16,6 +16,10 @@ work demands -- under a hostile, partially broken environment:
              unchanged when bombs are dormant or contained, intact
              bombs still detect, the server never double-counts, the
              spool recovers from corruption)
+``crash``    the ``repro chaos --crash-restart`` driver: kills the
+             durable report server at seeded offsets mid-ingest (torn
+             WAL tail included), recovers it from disk, and checks
+             exactly-once invariants against an uninterrupted run
 
 ``faults`` is import-light on purpose (the VM and reporting layers call
 its ``fault_point`` hook); the harness pulls in the whole pipeline and
@@ -49,18 +53,33 @@ __all__ = [
     "ChaosRunner",
     "TrialRecord",
     "run_chaos",
+    "CrashRestartConfig",
+    "CrashRestartReport",
+    "CrashRestartRunner",
+    "CrashTrialRecord",
+    "run_crash_restart",
 ]
 
 _HARNESS_NAMES = {
     "ChaosConfig", "ChaosReport", "ChaosRunner", "TrialRecord", "run_chaos",
 }
 
+_CRASH_NAMES = {
+    "CrashRestartConfig", "CrashRestartReport", "CrashRestartRunner",
+    "CrashTrialRecord", "run_crash_restart",
+}
+
 
 def __getattr__(name: str):
     # Lazy: harness imports the VM, which imports repro.chaos.faults --
-    # resolving it here at first use keeps that edge acyclic.
+    # resolving it here at first use keeps that edge acyclic.  The
+    # crash-restart driver pulls in the reporting stack the same way.
     if name in _HARNESS_NAMES:
         from repro.chaos import harness
 
         return getattr(harness, name)
+    if name in _CRASH_NAMES:
+        from repro.chaos import crash
+
+        return getattr(crash, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

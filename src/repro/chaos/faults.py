@@ -53,6 +53,9 @@ FAULT_SITES: Dict[str, Tuple[str, str]] = {
     "vm.clock": ("vm.runtime", "device clock (skew before dispatch)"),
     "report.transport": ("reporting.client", "report delivery"),
     "client.spool": ("reporting.client", "spooled report signature bytes"),
+    "wal.append": ("reporting.durability", "WAL record bytes as written"),
+    "wal.fsync": ("reporting.durability", "WAL fsync barrier"),
+    "snapshot.write": ("reporting.durability", "snapshot payload bytes"),
 }
 
 

@@ -9,10 +9,13 @@
     python -m repro repackage --in protected.apk --out pirated.apk --key-seed 666
     python -m repro simulate  --in pirated.apk --devices 10 --events 600
     python -m repro attack    --in protected.apk --attack symbolic
-    python -m repro serve-reports --app Game --key-hex <fp> --reports r.jsonl
+    python -m repro serve-reports --app Game --key-hex <fp> --reports r.jsonl \
+                              [--data-dir state/]
+    python -m repro recover   --data-dir state/
     python -m repro fleet     --in pirated.apk --original protected.apk \
                               --devices 1000000
     python -m repro chaos     --seed 7 --trials 25 [--verify-replay]
+    python -m repro chaos     --crash-restart --seed 11 [--reports 48]
 
 APK files on disk are the serialized entry container (a simple binary
 framing of the entries, manifest and certificate).
@@ -292,8 +295,11 @@ def _cmd_serve_reports(args) -> int:
         policy=TakedownPolicy(
             distinct_devices=args.threshold, window_seconds=args.window
         ),
+        data_dir=args.data_dir,
+        snapshot_every=args.snapshot_every,
     )
-    server.register_app(args.app, original_key)
+    if args.app not in server.apps:
+        server.register_app(args.app, original_key)
 
     handle = sys.stdin if args.reports == "-" else open(args.reports, "r")
     tallies = {}
@@ -312,9 +318,38 @@ def _cmd_serve_reports(args) -> int:
     server.process()
 
     verdict, offender = server.verdict(args.app)
+    if args.data_dir is not None:
+        server.close()  # compact the WAL into a snapshot on the way out
     print(f"ingested: " + ", ".join(f"{k}={v}" for k, v in sorted(tallies.items())))
     print(f"verdict for {args.app}: {verdict.value}"
           + (f" (key {offender})" if offender else ""))
+    print("\nmetrics:")
+    print(server.metrics.render())
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    """Rebuild a ReportServer from its WAL + snapshot and show verdicts."""
+    from repro.reporting import ReportServer, TakedownPolicy
+
+    server = ReportServer.recover(
+        args.data_dir,
+        shards=args.shards,
+        policy=TakedownPolicy(
+            distinct_devices=args.threshold, window_seconds=args.window
+        ),
+    )
+    server.process()
+    replayed = int(server.metrics.counter("wal.replayed").value)
+    torn = int(server.metrics.counter("recovery.torn_records").value)
+    snapshots = int(server.metrics.counter("snapshot.loads").value)
+    print(f"recovered from {args.data_dir}: "
+          f"{len(list(server.apps))} app(s), {replayed} WAL records replayed, "
+          f"{snapshots} snapshot(s) restored, {torn} torn record(s) discarded")
+    for app_name, (verdict, offender) in sorted(server.verdicts().items()):
+        print(f"verdict for {app_name}: {verdict.value}"
+              + (f" (key {offender})" if offender else ""))
+    server.close()
     print("\nmetrics:")
     print(server.metrics.render())
     return 0
@@ -387,20 +422,32 @@ def _cmd_chaos(args) -> int:
     """Run the seeded fault matrix and check containment invariants."""
     import json
 
-    from repro.chaos import ChaosConfig, run_chaos
+    if args.crash_restart:
+        from repro.chaos import CrashRestartConfig, run_crash_restart
 
-    config = ChaosConfig(
-        seed=args.seed,
-        trials=args.trials,
-        scale=args.scale,
-        events=args.events,
-        devices=args.devices,
-        strict=args.strict,
-    )
-    report = run_chaos(config)
+        config = CrashRestartConfig(
+            seed=args.seed,
+            reports=args.reports,
+            data_dir=args.data_dir,
+        )
+        report = run_crash_restart(config)
+        runner = run_crash_restart
+    else:
+        from repro.chaos import ChaosConfig, run_chaos
+
+        config = ChaosConfig(
+            seed=args.seed,
+            trials=args.trials,
+            scale=args.scale,
+            events=args.events,
+            devices=args.devices,
+            strict=args.strict,
+        )
+        report = run_chaos(config)
+        runner = run_chaos
     replay_ok = True
     if args.verify_replay:
-        replay_ok = run_chaos(config).digest() == report.digest()
+        replay_ok = runner(config).digest() == report.digest()
     if args.json:
         payload = report.to_dict()
         payload["replay_verified"] = replay_ok if args.verify_replay else None
@@ -507,7 +554,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-capacity", type=int, default=4096)
     serve.add_argument("--process-every", type=int, default=1024,
                        help="drain queues after this many pending reports")
+    serve.add_argument("--data-dir", default=None,
+                       help="journal accepted reports to a WAL + snapshot "
+                            "in this directory (durable ingestion)")
+    serve.add_argument("--snapshot-every", type=int, default=1024,
+                       help="WAL appends between snapshot compactions")
     serve.set_defaults(func=_cmd_serve_reports)
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a crashed report server from its WAL + snapshot",
+    )
+    recover.add_argument("--data-dir", required=True,
+                         help="the durable directory a previous "
+                              "serve-reports --data-dir run journaled to")
+    recover.add_argument("--shards", type=int, default=8,
+                         help="must match the crashed server's shard count")
+    recover.add_argument("--threshold", type=int, default=3)
+    recover.add_argument("--window", type=float, default=3600.0)
+    recover.set_defaults(func=_cmd_recover)
 
     fleet = sub.add_parser(
         "fleet",
@@ -551,6 +616,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distinct pirate devices rotated across trials")
     chaos.add_argument("--strict", action="store_true",
                        help="re-raise contained failures (debugging)")
+    chaos.add_argument("--crash-restart", action="store_true",
+                       help="run the kill-and-recover matrix against the "
+                            "durable report server instead of the VM matrix")
+    chaos.add_argument("--reports", type=int, default=48,
+                       help="stream length per crash-restart trial")
+    chaos.add_argument("--data-dir", default=None,
+                       help="parent directory for crash-restart trial state "
+                            "(default: a temp dir, removed afterwards)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     chaos.add_argument("--verify-replay", action="store_true",

@@ -129,6 +129,17 @@ class WireError(ReportingError):
     """A serialized detection report could not be decoded."""
 
 
+class DurabilityError(ReportingError):
+    """The durable ingestion state (WAL / snapshot) is unusable.
+
+    Raised by :mod:`repro.reporting.durability` when recovery cannot
+    proceed at all -- e.g. the snapshot was written for a different
+    shard count.  Tolerable damage (torn WAL tails, bit-flipped
+    records, a corrupt snapshot) is *not* an exception: replay degrades
+    gracefully and accounts for it in the ``recovery.*`` metrics.
+    """
+
+
 class TransportError(ReportingError):
     """The report transport is unreachable (simulated network failure).
 

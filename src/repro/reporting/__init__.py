@@ -13,6 +13,9 @@ signing key back to the developer and the market acts (Sections 1,
 ``server``   sharded ingestion service: signature checks, dedup,
              sliding-window takedown policy, bounded queues with
              explicit backpressure accounting
+``durability`` per-shard write-ahead log + snapshot compaction, so
+             ``ReportServer.recover(data_dir)`` rebuilds verdict state
+             after a crash (torn-tail and bit-flip tolerant replay)
 ``fleet``    million-device load driver in O(shards) memory, calibrated
              from real interpreter play sessions
 ``metrics``  counters / gauges / fixed-bucket histograms for all of it
@@ -23,6 +26,7 @@ of this package; the CLI surface is ``repro serve-reports`` and
 """
 
 from repro.reporting.client import ReportClient, Transport
+from repro.reporting.durability import DurabilityLog
 from repro.reporting.fleet import FleetConfig, FleetResult, OutcomeModel, run_fleet
 from repro.reporting.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.reporting.server import ReportServer, SubmitStatus, TakedownPolicy
@@ -45,6 +49,7 @@ __all__ = [
     "AggregatedVerdict",
     "Counter",
     "DetectionReport",
+    "DurabilityLog",
     "FleetConfig",
     "FleetResult",
     "Gauge",

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional
 
 from repro.crypto.rsa import RSAKeyPair
-from repro.errors import TransportError, VMError
+from repro.errors import ReportingError, TransportError, VMError
 from repro.reporting.client import ReportClient
 from repro.reporting.server import ReportServer, SubmitStatus, TakedownPolicy
 from repro.reporting.verdicts import AggregatedVerdict
@@ -134,6 +134,10 @@ class FleetConfig:
     transport_failure_rate: float = 0.0
     stop_on_takedown: bool = False
     policy: TakedownPolicy = field(default_factory=TakedownPolicy)
+    data_dir: Optional[str] = None    # WAL + snapshot directory (durable run)
+    snapshot_every: int = 1024        # appends between snapshot compactions
+    crash_after_batch: Optional[int] = None  # kill + recover after this batch
+                                             # (requires data_dir)
 
 
 @dataclass
@@ -154,6 +158,8 @@ class FleetResult:
     spooled: int
     client_retries: int
     metrics: Dict[str, object]
+    recoveries: int = 0               # mid-run kill-and-recover cycles
+    wal_replayed: int = 0             # records replayed across recoveries
 
     @property
     def reports_per_second(self) -> float:
@@ -178,6 +184,11 @@ class FleetResult:
         ]
         if self.takedown_clock is not None:
             lines.append(f"takedown at fleet-clock {self.takedown_clock:.0f}s")
+        if self.recoveries:
+            lines.append(
+                f"crash-recoveries: {self.recoveries} "
+                f"({self.wal_replayed} WAL records replayed)"
+            )
         return "\n".join(lines)
 
 
@@ -217,10 +228,19 @@ def run_fleet(
     report (signed, delivered, forgotten) or a bulk counter bump.
     Pass ``market``/``listing`` to close the ecosystem loop -- bulk
     downloads and ratings flow into the listing and a TAKEDOWN verdict
-    pulls it.
+    pulls it.  With ``config.data_dir`` the server journals to a WAL;
+    ``config.crash_after_batch`` kills it at that batch boundary and
+    recovers from disk mid-run (the chaos crash-restart model at fleet
+    scale).
     """
+    if config.crash_after_batch is not None and config.data_dir is None:
+        raise ReportingError("crash_after_batch requires data_dir")
+    owns_server = server is None
     if server is None:
-        server = ReportServer(shards=config.shards, policy=config.policy)
+        server = ReportServer(
+            shards=config.shards, policy=config.policy,
+            data_dir=config.data_dir, snapshot_every=config.snapshot_every,
+        )
     if app_name not in server.apps:
         server.register_app(app_name, original_key_hex)
 
@@ -262,6 +282,8 @@ def run_fleet(
     rating_count = 0
     stale_report: Optional[SignedReport] = None
     batches = 0
+    recoveries = 0
+    wal_replayed = 0
     started = time.monotonic()
 
     for batch_start in range(0, config.devices, config.batch_size):
@@ -330,6 +352,21 @@ def run_fleet(
         if tracked > peak_tracked:
             peak_tracked = tracked
 
+        if batches == config.crash_after_batch:
+            # Kill-and-recover at the batch boundary: drop the server
+            # with no clean shutdown and rebuild it from the WAL +
+            # snapshot.  The transport closure picks up the rebound
+            # ``server``; dedup windows and takedown state must survive.
+            server.crash()
+            server = ReportServer.recover(
+                config.data_dir,
+                shards=config.shards, policy=config.policy,
+                snapshot_every=config.snapshot_every,
+            )
+            recoveries += 1
+            wal_replayed += server.metrics.counter("wal.replayed").value
+            server.process()
+
         verdict, offender = server.verdict(app_name)
         if verdict is AggregatedVerdict.TAKEDOWN and takedown_clock is None:
             takedown_clock = fleet_clock
@@ -343,6 +380,8 @@ def run_fleet(
     metrics.counter("fleet.devices_simulated").inc(config.devices)
     metrics.counter("fleet.reports_sent").inc(reports_sent)
     metrics.gauge("fleet.peak_tracked_state").set(peak_tracked)
+    if owns_server and config.data_dir is not None:
+        server.close()
 
     return FleetResult(
         app_name=app_name,
@@ -359,4 +398,6 @@ def run_fleet(
         spooled=sum(client.spooled for client in clients),
         client_retries=sum(client.retries for client in clients),
         metrics=metrics.snapshot(),
+        recoveries=recoveries,
+        wal_replayed=wal_replayed,
     )

@@ -21,6 +21,13 @@ that a repackaged copy is circulating.  Design constraints, in order:
   ``process`` drains queues into the takedown policy.  A full queue
   drops the report and says so (``SubmitStatus.DROPPED`` plus a
   counter) instead of growing without bound.
+* **Durable, optionally.**  With ``data_dir`` set, accepted reports and
+  takedown transitions are journaled to a per-shard write-ahead log
+  *before* they mutate shard state, snapshots compact the log, and
+  :meth:`ReportServer.recover` rebuilds the verdict state after a crash
+  (:mod:`repro.reporting.durability`).  A report is only ever acked
+  ``ACCEPTED`` once it is journaled; a failed journal write answers
+  ``DROPPED`` so the client retries.
 
 The takedown decision is a **sliding-window policy**: a takedown needs
 ``distinct_devices`` *different* devices naming the same foreign key
@@ -33,16 +40,18 @@ from __future__ import annotations
 
 import enum
 import math
+import os
 import zlib
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ReportingError, WireError
+from repro.errors import DurabilityError, ReportingError, WireError
 from repro.reporting.metrics import MetricsRegistry
 from repro.reporting.wire import (
     DetectionReport,
     SignedReport,
+    canonical_bytes,
     decode_report,
     report_from_json,
 )
@@ -90,6 +99,7 @@ class _KeyWindow:
     def add(self, ts: float, device_id: str, cap: int) -> None:
         if len(self.entries) >= cap:
             self._evict_oldest()
+            self._recompute_bounds()
         self.entries.append((ts, device_id))
         self.device_counts[device_id] = self.device_counts.get(device_id, 0) + 1
         if ts < self.first_ts:
@@ -101,8 +111,12 @@ class _KeyWindow:
         if math.isinf(window_seconds):
             return
         horizon = now - window_seconds
+        dropped = False
         while self.entries and self.entries[0][0] < horizon:
             self._evict_oldest()
+            dropped = True
+        if dropped:
+            self._recompute_bounds()
 
     def _evict_oldest(self) -> None:
         _, device_id = self.entries.popleft()
@@ -111,6 +125,17 @@ class _KeyWindow:
             self.device_counts[device_id] = remaining
         else:
             del self.device_counts[device_id]
+
+    def _recompute_bounds(self) -> None:
+        # first/last must describe the *surviving* window, not the
+        # all-time extremes -- takedown latency is measured from
+        # first_ts, and an evicted ancient sighting must not stretch it.
+        if self.entries:
+            self.first_ts = min(ts for ts, _ in self.entries)
+            self.last_ts = max(ts for ts, _ in self.entries)
+        else:
+            self.first_ts = math.inf
+            self.last_ts = -math.inf
 
     def distinct_devices(self) -> int:
         return len(self.device_counts)
@@ -187,6 +212,9 @@ class ReportServer:
         max_report_age: float = 900.0,
         policy: Optional[TakedownPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        data_dir: Optional[str] = None,
+        snapshot_every: int = 1024,
+        fsync: bool = False,
     ) -> None:
         if shards < 1:
             raise ReportingError("need at least one shard")
@@ -199,6 +227,44 @@ class ReportServer:
         self.clock = 0.0
         self._apps: Dict[str, _AppState] = {}
         self._trusted_nonce = 0
+        self._durability = None
+        if data_dir is not None:
+            from repro.reporting.durability import DurabilityLog
+
+            self._durability = DurabilityLog(
+                data_dir, shards, self.metrics,
+                snapshot_every=snapshot_every, fsync=fsync,
+            )
+            self._recover_existing()
+            self._durability.open()
+
+    @classmethod
+    def recover(cls, data_dir: str, **kwargs) -> "ReportServer":
+        """Rebuild a server from its durable state after a crash.
+
+        Loads the last verified snapshot, replays the WALs (tolerating a
+        torn tail), and reopens the logs for append.  ``kwargs`` must
+        match the crashed server's configuration -- in particular
+        ``shards``, which the snapshot validates.
+        """
+        if not os.path.isdir(data_dir):
+            raise DurabilityError(f"no durable state at {data_dir!r}")
+        return cls(data_dir=data_dir, **kwargs)
+
+    def close(self) -> None:
+        """Graceful shutdown: compact into a snapshot and close the logs."""
+        if self._durability is not None:
+            self._durability.compact(self)
+            self._durability.close()
+
+    def crash(self) -> None:
+        """Abandon the durable logs with no compaction (kill simulation).
+
+        WAL appends are unbuffered, so everything acked before this call
+        survives on disk; anything else is the crash's business.
+        """
+        if self._durability is not None:
+            self._durability.close()
 
     # -- registration -------------------------------------------------------
 
@@ -206,6 +272,8 @@ class ReportServer:
         """Register an app the developer operates this backend for."""
         if app_name in self._apps:
             raise ReportingError(f"app {app_name!r} already registered")
+        if self._durability is not None:
+            self._durability.append_register(app_name, original_key_hex)
         self._apps[app_name] = _AppState(
             app_name, original_key_hex, self.shard_count
         )
@@ -260,10 +328,13 @@ class ReportServer:
         authentication happened out of band.  Skips signature checks but
         shares dedup, backpressure and the takedown policy.
         """
+        # Count before any reject, exactly like ``submit`` -- otherwise
+        # rejected trusted reports vanish from the received counter and
+        # acceptance-rate math disagrees between the two ingest paths.
+        self.metrics.counter("reporting.received").inc()
         app = self._apps.get(app_name)
         if app is None:
             return self._reject("reporting.unknown_app", SubmitStatus.UNKNOWN_APP)
-        self.metrics.counter("reporting.received").inc()
         if nonce is None:
             self._trusted_nonce += 1
             nonce = self._trusted_nonce
@@ -275,22 +346,35 @@ class ReportServer:
             timestamp=self.clock if timestamp is None else timestamp,
             nonce=nonce,
         )
-        return self._admit(app, report)
+        return self._admit(app, report, trusted=True)
 
-    def _admit(self, app: _AppState, report: DetectionReport) -> SubmitStatus:
+    def _admit(
+        self, app: _AppState, report: DetectionReport, trusted: bool = False
+    ) -> SubmitStatus:
         if report.timestamp < self.clock - self.max_report_age:
             return self._reject("reporting.rejected_replayed", SubmitStatus.REPLAYED)
         if report.timestamp > self.clock:
             self.clock = report.timestamp
-        shard = app.shards[self._shard_index(report.device_id)]
+        shard_index = self._shard_index(report.device_id)
+        shard = app.shards[shard_index]
         if shard.seen(report.device_id, report.nonce):
             return self._reject("reporting.duplicates_dropped", SubmitStatus.DUPLICATE)
         if len(shard.queue) >= self.queue_capacity:
             return self._reject("reporting.dropped_backpressure", SubmitStatus.DROPPED)
+        if self._durability is not None:
+            # Journal before mutating shard state: ACCEPTED means
+            # durable.  A failed append answers DROPPED (and records no
+            # nonce) so the client's retry is not misread as a duplicate.
+            if not self._durability.append_report(
+                app.name, report, shard_index, trusted=trusted
+            ):
+                return self._reject("reporting.wal_failed", SubmitStatus.DROPPED)
         shard.remember(report.device_id, report.nonce, self.dedup_window)
         shard.queue.append(report)
         self.metrics.counter("reporting.accepted").inc()
         self._update_gauges()
+        if self._durability is not None:
+            self._durability.maybe_compact(self)
         return SubmitStatus.ACCEPTED
 
     def _reject(self, counter: str, status: SubmitStatus) -> SubmitStatus:
@@ -349,20 +433,36 @@ class ReportServer:
         counts: Dict[str, int] = {}
         first_ts: Dict[str, float] = {}
         for shard in app.shards:
+            dead: List[str] = []
             for key, window in shard.windows.items():
                 window.prune(self.clock, self.policy.window_seconds)
                 distinct = window.distinct_devices()
                 if not distinct:
+                    # A window that pruned to empty must not keep
+                    # occupying a max_tracked_keys slot -- dead keys
+                    # would evict live ones.
+                    dead.append(key)
                     continue
                 counts[key] = counts.get(key, 0) + distinct
                 ts = first_ts.get(key, math.inf)
                 if window.first_ts < ts:
                     first_ts[key] = window.first_ts
+            for key in dead:
+                del shard.windows[key]
+            if dead:
+                self.metrics.counter("reporting.evicted_keys").inc(len(dead))
         if not counts:
             return AggregatedVerdict.CLEAN, ""
         best_key = max(counts, key=lambda key: (counts[key], key))
         if counts[best_key] >= self.policy.distinct_devices:
             if app.takedown_key is None:
+                if self._durability is not None:
+                    # Journal the transition before committing it, so a
+                    # crash right here replays into the same takedown
+                    # rather than a second one.
+                    self._durability.append_takedown(
+                        app.name, best_key, self.clock
+                    )
                 app.takedown_key = best_key
                 app.takedown_ts = self.clock
                 latency = max(0.0, self.clock - first_ts[best_key])
@@ -384,6 +484,105 @@ class ReportServer:
             if verdict is AggregatedVerdict.TAKEDOWN:
                 out.append((name, key))
         return out
+
+    # -- durability ---------------------------------------------------------
+
+    def _snapshot_state(self) -> dict:
+        """Plain-data view of the durable state (snapshot payload)."""
+        return {
+            "clock": self.clock,
+            "trusted_nonce": self._trusted_nonce,
+            "apps": [
+                {
+                    "name": app.name,
+                    "key": app.original_key_hex,
+                    "takedown_key": app.takedown_key,
+                    "takedown_ts": app.takedown_ts,
+                    "shards": [
+                        {
+                            "nonces": list(shard.nonce_order),
+                            "queue": [
+                                canonical_bytes(report) for report in shard.queue
+                            ],
+                            "windows": [
+                                (key, list(window.entries))
+                                for key, window in shard.windows.items()
+                            ],
+                        }
+                        for shard in app.shards
+                    ],
+                }
+                for app in self._apps.values()
+            ],
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`_snapshot_state` (crash recovery)."""
+        from repro.reporting.durability import decode_report_body
+
+        self.clock = state["clock"]
+        self._trusted_nonce = state["trusted_nonce"]
+        for app_state in state["apps"]:
+            if len(app_state["shards"]) != self.shard_count:
+                raise DurabilityError(
+                    f"snapshot has {len(app_state['shards'])} shards, "
+                    f"server configured for {self.shard_count}"
+                )
+            app = _AppState(
+                app_state["name"], app_state["key"], self.shard_count
+            )
+            app.takedown_key = app_state["takedown_key"]
+            app.takedown_ts = app_state["takedown_ts"]
+            for shard, shard_state in zip(app.shards, app_state["shards"]):
+                for device, nonce in shard_state["nonces"]:
+                    token = (device, nonce)
+                    shard.nonce_order.append(token)
+                    shard.nonce_set.add(token)
+                for body in shard_state["queue"]:
+                    shard.queue.append(decode_report_body(body))
+                for key, entries in shard_state["windows"]:
+                    window = _KeyWindow()
+                    for ts, device in entries:
+                        window.add(ts, device, self.policy.max_tracked_devices)
+                    shard.windows[key] = window
+            self._apps[app.name] = app
+
+    def _recover_existing(self) -> None:
+        """Snapshot + WAL replay into a freshly constructed server."""
+        snapshot = self._durability.load_snapshot()
+        if snapshot is not None:
+            self._restore_state(snapshot)
+        for record in self._durability.replay():
+            kind = record[0]
+            if kind == "register":
+                _, name, key = record
+                # Idempotent: the snapshot (or an earlier replay of the
+                # same record after a crash mid-compaction) may already
+                # hold the app.
+                if name not in self._apps:
+                    self._apps[name] = _AppState(name, key, self.shard_count)
+            elif kind == "takedown":
+                _, name, key, ts = record
+                app = self._apps.get(name)
+                if app is not None and app.takedown_key is None:
+                    app.takedown_key = key
+                    app.takedown_ts = ts
+            else:  # report
+                _, name, report, trusted = record
+                app = self._apps.get(name)
+                if app is None:
+                    self.metrics.counter("recovery.skipped_records").inc()
+                    continue
+                if trusted and report.nonce > self._trusted_nonce:
+                    self._trusted_nonce = report.nonce
+                if report.timestamp > self.clock:
+                    self.clock = report.timestamp
+                shard = app.shards[self._shard_index(report.device_id)]
+                if shard.seen(report.device_id, report.nonce):
+                    continue  # already in the snapshot: replay is idempotent
+                shard.remember(report.device_id, report.nonce, self.dedup_window)
+                shard.queue.append(report)
+        self._update_gauges()
 
     # -- observability ------------------------------------------------------
 

@@ -7,6 +7,7 @@ import pytest
 from repro.chaos import (
     FAULT_SITES,
     ChaosConfig,
+    CrashRestartConfig,
     FaultPlan,
     active_plan,
     clear_plan,
@@ -14,6 +15,7 @@ from repro.chaos import (
     fault_point,
     install_plan,
     run_chaos,
+    run_crash_restart,
 )
 from repro.cli import EXIT_OK, main
 from repro.errors import FaultInjected, ReproError, TransportError
@@ -223,3 +225,54 @@ class TestChaosCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True
         assert payload["violations"] == []
+
+
+class TestCrashRestart:
+    @pytest.fixture(scope="class")
+    def reports(self, tmp_path_factory):
+        config = CrashRestartConfig(
+            seed=11, reports=24, crash_offsets=(5, 12, 21),
+            snapshot_every=8,
+            data_dir=str(tmp_path_factory.mktemp("crash-state")),
+        )
+        return run_crash_restart(config), run_crash_restart(config)
+
+    def test_exactly_once_invariants_hold(self, reports):
+        report, _ = reports
+        assert report.ok, "\n".join(report.violations)
+        # scenarios x crash offsets, every one checked.
+        assert len(report.trials) == 2 * 3
+        assert {r.scenario for r in report.trials} == {"genuine", "pirated"}
+
+    def test_pirated_takes_down_exactly_once_across_crash(self, reports):
+        report, _ = reports
+        for record in report.trials:
+            expected = 1 if record.scenario == "pirated" else 0
+            assert record.takedowns == expected
+
+    def test_torn_tails_recovered(self, reports):
+        report, _ = reports
+        assert all(r.torn_records == 1 for r in report.trials)
+
+    def test_wal_and_snapshot_paths_both_exercised(self, reports):
+        report, _ = reports
+        assert any(r.wal_replayed > 0 for r in report.trials)
+        assert any(r.snapshot_loaded for r in report.trials)
+
+    def test_replay_digest_identical(self, reports):
+        first, second = reports
+        assert first.digest() == second.digest()
+
+    def test_report_serializes(self, reports):
+        report, _ = reports
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["digest"] == report.digest()
+        assert "crash-restart" in report.summary()
+
+    def test_cli_crash_restart_exits_ok(self, capsys):
+        code = main([
+            "chaos", "--crash-restart", "--seed", "11", "--reports", "18",
+        ])
+        assert code == EXIT_OK
+        assert "invariants: all held" in capsys.readouterr().out

@@ -141,3 +141,43 @@ def test_load_rejects_garbage(workdir):
 
     with pytest.raises(ApkError):
         load_apk(str(path))
+
+
+def test_serve_reports_data_dir_then_recover(workdir, capsys):
+    from repro.crypto import RSAKeyPair
+    from repro.reporting import DetectionReport, report_to_json, sign_report
+
+    attest = RSAKeyPair.generate(seed=5)
+    lines = []
+    for i in range(4):
+        report = DetectionReport(
+            app_name="Game", bomb_id="b0", device_id=f"d{i}",
+            observed_key_hex="bb" * 20, timestamp=float(i), nonce=100 + i,
+        )
+        lines.append(report_to_json(sign_report(report, attest)))
+    reports_path = workdir / "reports.jsonl"
+    reports_path.write_text("\n".join(lines) + "\n")
+    data_dir = str(workdir / "state")
+
+    code = main([
+        "serve-reports", "--app", "Game", "--key-hex", "aa" * 20,
+        "--reports", str(reports_path), "--data-dir", data_dir,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "accepted=4" in out
+    assert "verdict for Game: takedown" in out
+
+    # The ingest journaled durably: a fresh process rebuilds the same
+    # verdict from disk alone.
+    code = main(["recover", "--data-dir", data_dir])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verdict for Game: takedown" in out
+    assert "1 snapshot(s) restored" in out
+
+
+def test_recover_missing_dir_fails(workdir, capsys):
+    code = main(["recover", "--data-dir", str(workdir / "nope")])
+    assert code == 1
+    assert "no durable state" in capsys.readouterr().err

@@ -78,6 +78,19 @@ class TestSubmitValidation:
         assert status is SubmitStatus.UNKNOWN_APP
         assert server.metrics.counter("reporting.unknown_app").value == 1
 
+    def test_trusted_unknown_app_counts_received_like_submit(self, attest_key):
+        server = make_server()
+        status = server.ingest_trusted(
+            "NotMine", device_id="agg-1", observed_key_hex=PIRATE
+        )
+        assert status is SubmitStatus.UNKNOWN_APP
+        # Both ingest paths must count the attempt, or acceptance-rate
+        # math diverges between them.
+        assert server.metrics.counter("reporting.received").value == 1
+        server.submit(make_signed(attest_key, app="NotMine"))
+        assert server.metrics.counter("reporting.received").value == 2
+        assert server.metrics.counter("reporting.unknown_app").value == 2
+
     def test_duplicate_nonce_dropped(self, attest_key):
         server = make_server()
         signed = make_signed(attest_key, device="d1", nonce=77)
@@ -190,6 +203,45 @@ class TestSlidingWindow:
         hist = server.metrics.histogram("reporting.takedown_latency_seconds")
         assert hist.count == 1
         assert server.metrics.counter("reporting.takedowns").value == 1
+
+    def test_takedown_latency_measured_from_surviving_window(self, attest_key):
+        """Pruned sightings must not anchor the latency: the window's
+        ``first_ts`` follows the entries that actually survive."""
+        server = make_server(shards=1, policy=self._policy(),
+                             max_report_age=10_000.0)
+        server.submit(make_signed(attest_key, device="d1", ts=0.0, nonce=1))
+        server.submit(make_signed(attest_key, device="d2", ts=10.0, nonce=2))
+        # These three form the quorum long after d1/d2 aged out.
+        server.submit(make_signed(attest_key, device="d3", ts=500.0, nonce=3))
+        server.submit(make_signed(attest_key, device="d4", ts=510.0, nonce=4))
+        server.submit(make_signed(attest_key, device="d5", ts=520.0, nonce=5))
+        server.process()
+        assert server.verdict("Game")[0] is AggregatedVerdict.TAKEDOWN
+        hist = server.metrics.histogram("reporting.takedown_latency_seconds")
+        # 520 - 500, the surviving window -- not 520 - 0, the all-time
+        # minimum a stale first_ts would report.
+        assert hist.total == 20.0
+
+    def test_empty_windows_dropped_from_tracked_keys(self, attest_key):
+        server = make_server(shards=1, policy=self._policy())
+        server.submit(make_signed(attest_key, device="d1", ts=0.0,
+                                  key="cc" * 20, nonce=1))
+        server.process()
+        shard = server._apps["Game"].shards[0]
+        assert "cc" * 20 in shard.windows
+        # A fresh sighting of another key moves the clock far past the
+        # first key's window; its now-empty window must free its
+        # max_tracked_keys slot rather than squat on it.
+        server.submit(make_signed(attest_key, device="d2", ts=500.0, nonce=2))
+        server.process()
+        evicted_before = server.metrics.counter("reporting.evicted_keys").value
+        server.verdict("Game")
+        assert "cc" * 20 not in shard.windows
+        assert PIRATE in shard.windows
+        assert (
+            server.metrics.counter("reporting.evicted_keys").value
+            == evicted_before + 1
+        )
 
 
 class TestBoundedState:
