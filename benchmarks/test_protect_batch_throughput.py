@@ -1,0 +1,152 @@
+"""Batch protection throughput: parallel speedup + cache reuse.
+
+The acceptance bar for the batch pipeline:
+
+* a 4-worker batch over a 16-app corpus beats serial by >= 2x
+  (asserted only on machines with >= 4 cores -- single-core CI
+  containers still *measure* and record the ratio honestly);
+* parallel outputs are byte-identical to serial, app for app
+  (always asserted -- determinism does not depend on core count);
+* a warm-cache rerun costs < 25% of the cold run.
+
+Results land in ``BENCH_protect_batch.json`` in the working
+directory so CI can upload them as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.apk.io import apk_to_bytes
+from repro.core import BombDroidConfig
+from repro.corpus import build_app
+from repro.crypto import RSAKeyPair
+from repro.pipeline import BatchJob, BatchOptions, protect_batch
+
+from conftest import SCALE, print_table
+
+CORPUS_SIZE = max(4, int(16 * SCALE))
+PROFILING_EVENTS = max(100, int(300 * SCALE))
+PARALLEL_WORKERS = 4
+BENCH_OUT = "BENCH_protect_batch.json"
+
+#: The speedup assert needs real cores; a 1-CPU container can only
+#: measure (and record) the ratio, not meaningfully gate on it.
+ENOUGH_CORES = (os.cpu_count() or 1) >= PARALLEL_WORKERS
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    key = RSAKeyPair.generate(seed=77)
+    jobs = []
+    for index in range(CORPUS_SIZE):
+        bundle = build_app(
+            f"Batch{index:02d}", category="Game", seed=index, scale=0.3
+        )
+        jobs.append(BatchJob.from_apk(f"app{index:02d}", bundle.apk, key))
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def config():
+    return BombDroidConfig(seed=9, profiling_events=PROFILING_EVENTS)
+
+
+@pytest.fixture(scope="module")
+def measurements(corpus, config, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("artifact-cache"))
+
+    def timed(options):
+        started = time.perf_counter()
+        result = protect_batch(corpus, config, options)
+        return time.perf_counter() - started, result
+
+    serial_s, serial = timed(BatchOptions(workers=1))
+    parallel_s, parallel = timed(BatchOptions(workers=PARALLEL_WORKERS))
+    cold_s, cold = timed(BatchOptions(workers=1, cache_dir=cache_dir))
+    warm_s, warm = timed(BatchOptions(workers=1, cache_dir=cache_dir))
+
+    payload = {
+        "corpus_apps": len(corpus),
+        "profiling_events": PROFILING_EVENTS,
+        "cpu_count": os.cpu_count(),
+        "workers": PARALLEL_WORKERS,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "speedup_asserted": ENOUGH_CORES,
+        "serial_apps_per_second": round(serial.apps_per_second, 3),
+        "parallel_apps_per_second": round(parallel.apps_per_second, 3),
+        "cold_cache_seconds": round(cold_s, 4),
+        "warm_cache_seconds": round(warm_s, 4),
+        "warm_over_cold": round(warm_s / cold_s, 4) if cold_s else None,
+        "warm_cache_hits": warm.cache_hits,
+    }
+    with open(BENCH_OUT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print_table(
+        "protect-batch throughput",
+        ["mode", "seconds", "apps/s"],
+        [
+            ["serial (1 worker)", f"{serial_s:.2f}", f"{serial.apps_per_second:.2f}"],
+            [f"parallel ({PARALLEL_WORKERS} workers)", f"{parallel_s:.2f}",
+             f"{parallel.apps_per_second:.2f}"],
+            ["cold cache", f"{cold_s:.2f}", f"{cold.apps_per_second:.2f}"],
+            ["warm cache", f"{warm_s:.2f}", f"{warm.apps_per_second:.2f}"],
+        ],
+    )
+    return {
+        "serial": serial, "parallel": parallel,
+        "cold": cold, "warm": warm,
+        "serial_s": serial_s, "parallel_s": parallel_s,
+        "cold_s": cold_s, "warm_s": warm_s,
+    }
+
+
+def test_all_apps_protected(measurements):
+    for run in ("serial", "parallel", "cold", "warm"):
+        result = measurements[run]
+        assert result.ok_count == CORPUS_SIZE, (
+            f"{run}: {result.failed_count} failure(s): "
+            + "; ".join(o.error for o in result.outcomes if not o.ok)
+        )
+
+
+def test_parallel_output_byte_identical_to_serial(measurements):
+    serial, parallel = measurements["serial"], measurements["parallel"]
+    for serial_out, parallel_out in zip(serial.outcomes, parallel.outcomes):
+        assert serial_out.name == parallel_out.name
+        assert apk_to_bytes(serial_out.result.apk) == apk_to_bytes(
+            parallel_out.result.apk
+        ), f"{serial_out.name}: parallel output diverged from serial"
+
+
+@pytest.mark.skipif(
+    not ENOUGH_CORES,
+    reason=f"needs >= {PARALLEL_WORKERS} cores for a meaningful speedup",
+)
+def test_parallel_speedup_at_least_2x(measurements):
+    speedup = measurements["serial_s"] / measurements["parallel_s"]
+    assert speedup >= 2.0, (
+        f"{PARALLEL_WORKERS}-worker speedup {speedup:.2f}x below the 2x bar"
+    )
+
+
+def test_warm_cache_under_quarter_of_cold(measurements):
+    assert measurements["warm"].cache_hits == CORPUS_SIZE
+    ratio = measurements["warm_s"] / measurements["cold_s"]
+    assert ratio < 0.25, (
+        f"warm rerun took {ratio:.1%} of the cold run (budget 25%)"
+    )
+
+
+def test_bench_artifact_written(measurements):
+    with open(BENCH_OUT, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["corpus_apps"] == CORPUS_SIZE
+    assert payload["warm_cache_hits"] == CORPUS_SIZE

@@ -16,6 +16,13 @@ from repro.apk.manifest import Manifest
 from repro.apk.resources import Resources
 from repro.apk.signing import Certificate, sign_apk_entries, verify_apk_entries
 from repro.apk.package import Apk, build_apk
+from repro.apk.io import (
+    apk_from_bytes,
+    apk_to_bytes,
+    load_apk,
+    save_apk,
+    save_apk_with_manifest,
+)
 from repro.apk.stego import embed_in_cover, extract_from_cover, stego_capacity
 
 __all__ = [
@@ -26,6 +33,11 @@ __all__ = [
     "verify_apk_entries",
     "Apk",
     "build_apk",
+    "apk_from_bytes",
+    "apk_to_bytes",
+    "load_apk",
+    "save_apk",
+    "save_apk_with_manifest",
     "embed_in_cover",
     "extract_from_cover",
     "stego_capacity",

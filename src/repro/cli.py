@@ -4,6 +4,8 @@
 
     python -m repro build     --name AndroFish --out app.apk
     python -m repro protect   --in app.apk --out protected.apk --key-seed 11
+    python -m repro protect-batch --corpus apps/ --out protected/ --key-seed 11 \
+                              --workers 4 --cache-dir .cache/
     python -m repro inspect   --in protected.apk [--disassemble]
     python -m repro lint      --in protected.apk [--json] [--rules a,b]
     python -m repro repackage --in protected.apk --out pirated.apk --key-seed 666
@@ -24,18 +26,13 @@ framing of the entries, manifest and certificate).
 from __future__ import annotations
 
 import argparse
-import struct
 import sys
 from typing import List, Optional
 
-from repro.apk.manifest import Manifest
-from repro.apk.package import Apk
-from repro.apk.signing import Certificate
 from repro.core import BombDroid, BombDroidConfig
 from repro.corpus import NAMED_APPS, build_app, build_named_app
 from repro.crypto import RSAKeyPair
 from repro.errors import (
-    ApkError,
     ReproError,
     VerificationError,
     VMCrash,
@@ -52,65 +49,12 @@ EXIT_CRASH = 4          # the VM crashed
 
 
 # ---------------------------------------------------------------------------
-# On-disk APK framing
+# On-disk APK framing (moved to repro.apk.io; re-exported for callers)
 # ---------------------------------------------------------------------------
 
-_MAGIC = b"RAPK"
+from repro.apk.io import load_apk, save_apk, save_apk_with_manifest
 
-
-def save_apk(apk: Apk, path: str) -> None:
-    """Write an APK container to disk."""
-    with open(path, "wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(struct.pack(">H", len(apk.entries)))
-        for name in sorted(apk.entries):
-            blob = apk.entries[name]
-            encoded = name.encode("utf-8")
-            handle.write(struct.pack(">H", len(encoded)))
-            handle.write(encoded)
-            handle.write(struct.pack(">I", len(blob)))
-            handle.write(blob)
-        cert = apk.cert.serialize()
-        handle.write(struct.pack(">I", len(cert)))
-        handle.write(cert)
-
-
-def load_apk(path: str) -> Apk:
-    """Read an APK container from disk."""
-    with open(path, "rb") as handle:
-        data = handle.read()
-    if data[:4] != _MAGIC:
-        raise ApkError(f"{path} is not a repro APK file")
-    offset = 4
-    (count,) = struct.unpack_from(">H", data, offset)
-    offset += 2
-    entries = {}
-    for _ in range(count):
-        (name_len,) = struct.unpack_from(">H", data, offset)
-        offset += 2
-        name = data[offset : offset + name_len].decode("utf-8")
-        offset += name_len
-        (blob_len,) = struct.unpack_from(">I", data, offset)
-        offset += 4
-        entries[name] = data[offset : offset + blob_len]
-        offset += blob_len
-    (cert_len,) = struct.unpack_from(">I", data, offset)
-    offset += 4
-    cert = Certificate.parse(data[offset : offset + cert_len])
-    manifest = Manifest.parse(entries["META-INF/MANIFEST.MF"]) if (
-        "META-INF/MANIFEST.MF" in entries
-    ) else Manifest.over_entries(entries)
-    entries.pop("META-INF/MANIFEST.MF", None)
-    return Apk(entries=entries, manifest=manifest, cert=cert)
-
-
-def _save_with_manifest(apk: Apk, path: str) -> None:
-    carrier = Apk(
-        entries={**apk.entries, "META-INF/MANIFEST.MF": apk.manifest.serialize()},
-        manifest=apk.manifest,
-        cert=apk.cert,
-    )
-    save_apk(carrier, path)
+_save_with_manifest = save_apk_with_manifest
 
 
 # ---------------------------------------------------------------------------
@@ -143,11 +87,54 @@ def _cmd_protect(args) -> int:
         double_trigger=not args.single_trigger,
         mute_after_detection=args.mute,
     )
-    protected, report = BombDroid(config).protect(apk, key, strict=args.strict)
-    _save_with_manifest(protected, args.out)
-    print(report.summary())
-    print(f"size increase: {report.size_increase:+.1%} -> {args.out}")
+    result = BombDroid(config).protect(apk, key, strict=args.strict)
+    _save_with_manifest(result.apk, args.out)
+    print(result.report.summary())
+    print(f"size increase: {result.report.size_increase:+.1%} "
+          f"({result.total_seconds:.2f}s) -> {args.out}")
     return 0
+
+
+def _cmd_protect_batch(args) -> int:
+    """Protect every ``*.rapk`` in a corpus directory, in parallel."""
+    import os
+
+    from repro.pipeline import BatchOptions, OutcomeStatus, jobs_from_dir, protect_batch
+
+    key = RSAKeyPair.generate(seed=args.key_seed)
+    jobs = jobs_from_dir(args.corpus, key)
+    if not jobs:
+        print(f"error: no .rapk files in {args.corpus}", file=sys.stderr)
+        return EXIT_USAGE
+    config = BombDroidConfig(
+        seed=args.seed,
+        profiling_events=args.profiling_events,
+        alpha=args.alpha,
+    )
+    options = BatchOptions(
+        workers=args.workers, cache_dir=args.cache_dir, strict=args.strict
+    )
+    result = protect_batch(jobs, config, options)
+
+    os.makedirs(args.out, exist_ok=True)
+    for outcome in result.outcomes:
+        if outcome.ok:
+            out_path = os.path.join(args.out, f"{outcome.name}.rapk")
+            _save_with_manifest(outcome.result.apk, out_path)
+            origin = "cache" if outcome.cache_hit else f"{outcome.seconds:.2f}s"
+            print(f"  {outcome.name}: {outcome.result.report.total_injected} "
+                  f"bomb(s) [{origin}] -> {out_path}")
+        else:
+            print(f"  {outcome.name}: {outcome.status.value} "
+                  f"({outcome.error_type}: {outcome.error})", file=sys.stderr)
+    print()
+    print(result.summary())
+
+    if result.by_status(OutcomeStatus.CRASHED):
+        return EXIT_FAILURE
+    if result.by_status(OutcomeStatus.VERIFICATION_FAILED):
+        return EXIT_VERIFICATION
+    return EXIT_OK
 
 
 def _cmd_inspect(args) -> int:
@@ -493,6 +480,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="refuse to emit an app with error-severity "
                               "verifier/lint diagnostics")
     protect.set_defaults(func=_cmd_protect)
+
+    batch = sub.add_parser(
+        "protect-batch",
+        help="protect a corpus directory of .rapk files in parallel",
+    )
+    batch.add_argument("--corpus", required=True,
+                       help="directory of .rapk files to protect")
+    batch.add_argument("--out", required=True,
+                       help="output directory for protected .rapk files")
+    batch.add_argument("--key-seed", type=int, required=True,
+                       help="developer signing key seed (whole corpus)")
+    batch.add_argument("--seed", type=int, default=0,
+                       help="config seed; per-app randomness derives from "
+                            "this mixed with each app's content digest")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="content-addressed artifact cache directory")
+    batch.add_argument("--profiling-events", type=int, default=1500)
+    batch.add_argument("--alpha", type=float, default=0.25)
+    batch.add_argument("--strict", action="store_true",
+                       help="verification gate failures fail the app "
+                            "(the batch itself always completes)")
+    batch.set_defaults(func=_cmd_protect_batch)
 
     inspect = sub.add_parser("inspect", help="summarize / disassemble an APK")
     inspect.add_argument("--in", required=True)

@@ -18,18 +18,24 @@ APK whose code is laced with cryptographically obfuscated logic bombs:
 Public API::
 
     from repro.core import BombDroid, BombDroidConfig
-    protected_apk, report = BombDroid(BombDroidConfig(seed=1)).protect(apk, developer_key)
+    result = BombDroid(BombDroidConfig(seed=1)).protect(apk, developer_key)
+    result.apk, result.report, result.timings   # ProtectionResult fields
+    protected_apk, report = result              # 2-tuple unpacking still works
 """
 
 from repro.core.config import BombDroidConfig, DetectionMethod, ResponseKind
 from repro.core.stats import Bomb, BombOrigin, InstrumentationReport
+from repro.core.result import ProtectionResult
 from repro.core.inner_triggers import InnerCondition, Constraint, build_inner_condition
-from repro.core.bombdroid import BombDroid
+from repro.core.bombdroid import BombDroid, app_identity_digest, derive_app_seed
 from repro.core.ssn import SSNConfig, SSNProtector
 
 __all__ = [
     "BombDroid",
     "BombDroidConfig",
+    "ProtectionResult",
+    "app_identity_digest",
+    "derive_app_seed",
     "DetectionMethod",
     "ResponseKind",
     "Bomb",

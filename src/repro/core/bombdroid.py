@@ -19,6 +19,7 @@ Returns ``(protected_apk, InstrumentationReport)``.
 from __future__ import annotations
 
 import random
+import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.entropy import FieldValueProfiler
@@ -36,6 +37,7 @@ from repro.apk.stego import embed_in_cover, stego_capacity
 from repro.core.config import BombDroidConfig, DetectionMethod
 from repro.core.inner_triggers import build_inner_condition
 from repro.core.instrumenter import Instrumenter
+from repro.core.result import ProtectionResult
 from repro.core.stats import Bomb, BombOrigin, InstrumentationReport
 from repro.crypto import RSAKeyPair, sha1_hex
 from repro.dex.hashing import method_instruction_hash
@@ -55,6 +57,30 @@ _DEFAULT_COVER = (
 )
 
 
+def app_identity_digest(apk: Apk) -> str:
+    """Digest of everything that makes this app *this* app: every
+    entry (dex and resources both count -- two catalog builds can
+    share a dex and differ only in strings) plus the signing cert."""
+    pieces = []
+    for name in sorted(apk.entries):
+        pieces.append(name.encode("utf-8"))
+        pieces.append(apk.entries[name])
+    pieces.append(apk.cert.serialize())
+    return sha1_hex(b"\x00".join(pieces))
+
+
+def derive_app_seed(seed: int, identity_digest_hex: str) -> int:
+    """Mix the config seed with the app's identity.
+
+    A shared config protecting a whole catalog must not hand every app
+    the same salt/nonce/label stream -- identical salts across apps are
+    a cross-app correlation gift to the attacker.  The derived seed is
+    stable for (seed, app) so single-app runs stay reproducible.
+    """
+    blob = f"{seed}:{identity_digest_hex}".encode("utf-8")
+    return int(sha1_hex(blob)[:16], 16)
+
+
 class BombDroid:
     """The protection pipeline."""
 
@@ -65,7 +91,7 @@ class BombDroid:
 
     def protect(
         self, apk: Apk, developer_key: RSAKeyPair, strict: bool = False
-    ) -> Tuple[Apk, InstrumentationReport]:
+    ) -> ProtectionResult:
         """Protect ``apk``; the result is re-signed with ``developer_key``.
 
         The input APK must be signed by the same developer: its public
@@ -76,9 +102,19 @@ class BombDroid:
         :class:`repro.errors.VerificationError` is raised if any
         error-severity diagnostic fires -- a corrupted or detectable
         app is never emitted.
+
+        Returns a :class:`ProtectionResult` (tuple-compatible with the
+        historical ``(protected_apk, report)`` pair).  All randomness
+        derives from ``config.seed`` mixed with the app's dex digest,
+        so a shared config gives every app a distinct salt stream while
+        each (config, app) pair stays byte-for-byte reproducible.
         """
         config = self.config
-        rng = random.Random(config.seed)
+        timings: Dict[str, float] = {}
+        stage_start = time.perf_counter()
+
+        app_seed = derive_app_seed(config.seed, app_identity_digest(apk))
+        rng = random.Random(app_seed)
 
         dex = apk.dex()  # fresh parse: our working copy
         resources = apk.resources().copy()
@@ -88,9 +124,11 @@ class BombDroid:
             size_before=apk.total_size(),
             instructions_before=dex.instruction_count(),
         )
+        stage_start = self._lap(timings, "unpack", stage_start)
 
         # -- step 2: profiling ------------------------------------------------
-        hot_profile, entropy = self._profile(apk, rng)
+        hot_profile, entropy = self._profile(apk, app_seed)
+        stage_start = self._lap(timings, "profile", stage_start)
         report.hot_methods = sorted(hot_profile.hot_methods)
         candidates = (
             hot_profile.candidate_methods
@@ -135,17 +173,29 @@ class BombDroid:
         )
 
         dex.validate()
+        stage_start = self._lap(timings, "instrument", stage_start)
 
         # -- step 3c: verification gate -------------------------------------------
         if strict:
             self._strict_gate(dex, report, entropy)
+        stage_start = self._lap(timings, "verify", stage_start)
 
         # -- step 4: packaging ---------------------------------------------------
         new_resources = self._embed_digest(dex, resources)
         protected = build_apk(dex, new_resources, developer_key)
         report.size_after = protected.total_size()
         report.instructions_after = dex.instruction_count()
-        return protected, report
+        self._lap(timings, "package", stage_start)
+        return ProtectionResult(
+            apk=protected, report=report, timings=timings, app_seed=app_seed
+        )
+
+    @staticmethod
+    def _lap(timings: Dict[str, float], stage: str, start: float) -> float:
+        """Record the elapsed time for ``stage``; returns the new start."""
+        now = time.perf_counter()
+        timings[stage] = now - start
+        return now
 
     @staticmethod
     def _strict_gate(dex: DexFile, report: InstrumentationReport, entropy) -> None:
@@ -191,15 +241,15 @@ class BombDroid:
     # profiling
     # ------------------------------------------------------------------
 
-    def _profile(self, apk: Apk, rng: random.Random):
+    def _profile(self, apk: Apk, app_seed: int):
         """Hot-method and field-entropy profiling on the original app."""
         config = self.config
         dex = apk.dex()
         runtime = Runtime(
             dex,
-            device=DevicePopulation(seed=config.seed).sample(),
+            device=DevicePopulation(seed=app_seed).sample(),
             package=apk.install_view(),
-            seed=config.seed,
+            seed=app_seed,
         )
         try:
             runtime.boot()
@@ -207,7 +257,7 @@ class BombDroid:
             # A crashing app still gets profiled (and protected); only
             # the library's own failures are expected here.
             pass
-        generator = DynodroidGenerator(dex, seed=config.seed)
+        generator = DynodroidGenerator(dex, seed=app_seed)
         entropy = FieldValueProfiler()
         entropy.sample(runtime)
         sample_every = max(1, config.profiling_events // 60)  # ~once a "minute"

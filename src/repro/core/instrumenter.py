@@ -57,12 +57,19 @@ from repro.errors import InstrumentationError
 
 
 class MethodEditor:
-    """Splice-based editing of one method with fresh labels/registers."""
+    """Splice-based editing of one method with fresh labels/registers.
 
-    _label_counter = itertools.count()
+    ``label_ns`` namespaces generated labels (the bomb id in practice)
+    so labels are unique within a method *and* deterministic: a
+    process-global counter here would make repeated ``protect()`` calls
+    emit different bytecode for the same input, defeating byte-identical
+    caching and parallel/serial parity.
+    """
 
-    def __init__(self, method: DexMethod) -> None:
+    def __init__(self, method: DexMethod, label_ns: str = "bd") -> None:
         self.method = method
+        self._label_ns = label_ns
+        self._label_counter = 0
 
     def reg(self) -> int:
         return self.method.grow_registers(1)
@@ -71,7 +78,8 @@ class MethodEditor:
         return [self.reg() for _ in range(count)]
 
     def fresh_label(self, hint: str = "bd") -> str:
-        return f"__{hint}_{next(self._label_counter)}"
+        self._label_counter += 1
+        return f"__{self._label_ns}_{hint}_{self._label_counter}"
 
     def splice(self, start: int, end: int, replacement: Sequence[Instr]) -> None:
         """Replace instructions ``[start, end)`` with ``replacement``."""
@@ -313,12 +321,12 @@ class Instrumenter:
         if qc.kind is QCKind.SWITCH_CASE:
             return self._transform_switch(method, qc, region, inner, real)
 
-        editor = MethodEditor(method)
         first_pc = qc.compare_pc if qc.compare_pc is not None else qc.branch_pc
         if qc.compare_pc is not None and qc.branch_pc != qc.compare_pc + 1:
             raise InstrumentationError("string compare and branch not adjacent")
 
         materials = self._materials(qc.const_value)
+        editor = MethodEditor(method, label_ns=materials.bomb_id)
         body = method.instructions[region.start : region.end]
         referenced, packed, reg_map, slot_locals = self._region_packing(
             method, region.start, region.end, body
@@ -364,8 +372,8 @@ class Instrumenter:
         if qc.kind is QCKind.SWITCH_CASE:
             return self._transform_switch(method, qc, None, inner, real)
 
-        editor = MethodEditor(method)
         materials = self._materials(qc.const_value)
+        editor = MethodEditor(method, label_ns=materials.bomb_id)
         ciphertext, detection, response, _ = self._make_payload(
             materials, qc.const_value, 0, (), real, inner
         )
@@ -420,12 +428,12 @@ class Instrumenter:
         real: bool,
     ) -> Bomb:
         """Switch-case QC: remove the key, route via the bomb (Case E)."""
-        editor = MethodEditor(method)
         switch_pc = qc.branch_pc
         switch = method.instructions[switch_pc]
         case_label = switch.value[qc.case_key]
 
         materials = self._materials(qc.const_value)
+        editor = MethodEditor(method, label_ns=materials.bomb_id)
         woven: Sequence[Instr] = ()
         packed: List[int] = []
         referenced: List[int] = []
@@ -480,8 +488,8 @@ class Instrumenter:
         inner: Optional[InnerCondition],
     ) -> Bomb:
         """Insert an artificial QC bomb at ``pc`` testing a static field."""
-        editor = MethodEditor(method)
         materials = self._materials(constant)
+        editor = MethodEditor(method, label_ns=materials.bomb_id)
         ciphertext, detection, response, _ = self._make_payload(
             materials, constant, 0, (), True, inner
         )

@@ -1,0 +1,76 @@
+"""The first-class result of one protection run.
+
+``BombDroid.protect()`` historically returned a bare
+``(protected_apk, report)`` tuple; batch protection needs more -- how
+long each stage took, which derived seed the run used, and whether the
+artifact came out of the content-addressed cache.  ``ProtectionResult``
+carries all of that while still unpacking like the old 2-tuple::
+
+    protected, report = BombDroid(config).protect(apk, key)   # still works
+    result = BombDroid(config).protect(apk, key)
+    result.apk, result.report, result.timings, result.app_seed
+
+Stage timings are wall-clock seconds keyed by stage name (``unpack``,
+``profile``, ``instrument``, ``verify``, ``package``); they are the
+only non-deterministic field -- the APK bytes and the report are fully
+determined by (input APK, config, code version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Union
+
+from repro.apk.package import Apk
+from repro.core.stats import InstrumentationReport
+
+#: Stage names in pipeline order, as used in ``timings``.
+STAGES = ("unpack", "profile", "instrument", "verify", "package")
+
+
+@dataclass
+class ProtectionResult:
+    """Everything produced by one ``protect()`` call.
+
+    Tuple-compatible: iterating or indexing yields ``(apk, report)``,
+    so pre-existing ``protected, report = ...`` call sites keep
+    working.
+    """
+
+    apk: Apk
+    report: InstrumentationReport
+    #: Wall-clock seconds per pipeline stage (see :data:`STAGES`).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: The per-app seed actually used (config.seed mixed with the app's
+    #: dex digest), recorded for reproducibility.
+    app_seed: int = 0
+    #: Cache provenance: True when the artifact was served from the
+    #: batch pipeline's content-addressed cache instead of computed.
+    cache_hit: bool = False
+    #: The content-addressed cache key (hex), when one was computed.
+    cache_key: Optional[str] = None
+
+    # -- 2-tuple compatibility ------------------------------------------------
+
+    def __iter__(self) -> Iterator[Union[Apk, InstrumentationReport]]:
+        return iter((self.apk, self.report))
+
+    def __getitem__(self, index: int) -> Union[Apk, InstrumentationReport]:
+        return (self.apk, self.report)[index]
+
+    def __len__(self) -> int:
+        return 2
+
+    # -- conveniences ---------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total across recorded stages."""
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        origin = "cache" if self.cache_hit else "computed"
+        return (
+            f"{self.report.summary()} [{origin}, "
+            f"{self.total_seconds:.3f}s, seed {self.app_seed}]"
+        )

@@ -51,6 +51,53 @@ class Bomb:
     def is_real(self) -> bool:
         return self.origin is not BombOrigin.BOGUS
 
+    # -- serialization (artifact cache / cross-process transport) -------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view; ``from_dict`` round-trips it exactly."""
+        return {
+            "bomb_id": self.bomb_id,
+            "method": self.method,
+            "origin": self.origin.value,
+            "strength": self.strength.value,
+            # Tag the constant's type: JSON folds bool into int/str.
+            "const_type": type(self.const_value).__name__,
+            "const_value": self.const_value,
+            "salt_hex": self.salt_hex,
+            "hc_hex": self.hc_hex,
+            "payload_class": self.payload_class,
+            "woven": self.woven,
+            "detection": self.detection.value if self.detection else None,
+            "response": self.response.value if self.response else None,
+            "inner_description": self.inner_description,
+            "inner_probability": self.inner_probability,
+            "const_erased": self.const_erased,
+            "packed_regs": list(self.packed_regs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Bomb":
+        const_value = data["const_value"]
+        if data.get("const_type") == "bool":
+            const_value = bool(const_value)
+        return cls(
+            bomb_id=data["bomb_id"],
+            method=data["method"],
+            origin=BombOrigin(data["origin"]),
+            strength=Strength(data["strength"]),
+            const_value=const_value,
+            salt_hex=data["salt_hex"],
+            hc_hex=data["hc_hex"],
+            payload_class=data["payload_class"],
+            woven=data["woven"],
+            detection=DetectionMethod(data["detection"]) if data["detection"] else None,
+            response=ResponseKind(data["response"]) if data["response"] else None,
+            inner_description=data.get("inner_description", ""),
+            inner_probability=data.get("inner_probability", 1.0),
+            const_erased=data.get("const_erased", False),
+            packed_regs=tuple(data.get("packed_regs", ())),
+        )
+
 
 @dataclass
 class InstrumentationReport:
@@ -97,6 +144,36 @@ class InstrumentationReport:
             if bomb.bomb_id == bomb_id:
                 return bomb
         raise KeyError(bomb_id)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view; ``from_dict`` round-trips it exactly."""
+        return {
+            "app_name": self.app_name,
+            "bombs": [bomb.to_dict() for bomb in self.bombs],
+            "hot_methods": list(self.hot_methods),
+            "candidate_methods": list(self.candidate_methods),
+            "existing_qcs_found": self.existing_qcs_found,
+            "size_before": self.size_before,
+            "size_after": self.size_after,
+            "instructions_before": self.instructions_before,
+            "instructions_after": self.instructions_after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InstrumentationReport":
+        return cls(
+            app_name=data["app_name"],
+            bombs=[Bomb.from_dict(entry) for entry in data["bombs"]],
+            hot_methods=list(data.get("hot_methods", ())),
+            candidate_methods=list(data.get("candidate_methods", ())),
+            existing_qcs_found=data.get("existing_qcs_found", 0),
+            size_before=data.get("size_before", 0),
+            size_after=data.get("size_after", 0),
+            instructions_before=data.get("instructions_before", 0),
+            instructions_after=data.get("instructions_after", 0),
+        )
 
     def summary(self) -> str:
         real = self.real_bombs()

@@ -1,0 +1,41 @@
+"""Batch protection pipeline: parallel corpus protection with caching.
+
+The market-operator view of BombDroid: instead of one
+``BombDroid.protect()`` call, a whole corpus flows through
+:func:`protect_batch` -- fanned out over worker processes, served from
+a content-addressed artifact cache where possible, with per-app
+failures isolated into structured outcomes and batch-level metrics
+aggregated through :mod:`repro.metrics`.
+"""
+
+from repro.pipeline.batch import (
+    AppOutcome,
+    BatchJob,
+    BatchOptions,
+    BatchResult,
+    OutcomeStatus,
+    jobs_from_dir,
+    protect_batch,
+)
+from repro.pipeline.cache import (
+    ARTIFACT_FORMAT,
+    ArtifactCache,
+    CachedArtifact,
+    artifact_key,
+    config_digest,
+)
+
+__all__ = [
+    "AppOutcome",
+    "BatchJob",
+    "BatchOptions",
+    "BatchResult",
+    "OutcomeStatus",
+    "jobs_from_dir",
+    "protect_batch",
+    "ARTIFACT_FORMAT",
+    "ArtifactCache",
+    "CachedArtifact",
+    "artifact_key",
+    "config_digest",
+]

@@ -1,0 +1,164 @@
+"""Content-addressed on-disk cache of protection artifacts.
+
+Protecting an app is pure: the output APK and report are fully
+determined by (input dex, config, signing key, code version).  The
+cache exploits that -- the key is a digest over exactly those inputs,
+so re-protecting an unchanged app is a read, and *any* change to the
+app bytes, the config knobs, the signing identity or the pipeline code
+itself misses and recomputes.  Entries are single JSON files written
+atomically (temp file + ``os.replace``), so concurrent workers racing
+on the same key at worst both write the same content.
+
+A corrupt or unreadable entry is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import enum
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import __version__
+from repro.core.config import BombDroidConfig
+from repro.crypto import RSAKeyPair, sha1_hex
+
+#: Bumped (together with ``repro.__version__``) whenever the pipeline's
+#: output format changes; both feed the cache key so stale artifacts
+#: from older code can never be served.
+ARTIFACT_FORMAT = 1
+
+
+def config_digest(config: BombDroidConfig) -> str:
+    """Stable digest over every config knob (enums by value)."""
+
+    def normalize(value):
+        if isinstance(value, enum.Enum):
+            return value.value
+        if isinstance(value, tuple):
+            return [normalize(item) for item in value]
+        return value
+
+    fields = {
+        f.name: normalize(getattr(config, f.name))
+        for f in dataclasses.fields(config)
+    }
+    blob = json.dumps(fields, sort_keys=True, default=repr)
+    return sha1_hex(blob.encode("utf-8"))
+
+
+def artifact_key(
+    content_digest_hex: str,
+    config: BombDroidConfig,
+    developer_key: RSAKeyPair,
+    strict: bool = False,
+) -> str:
+    """The content address of one protection run's output.
+
+    ``content_digest_hex`` must cover the *whole* container (dex,
+    resources, manifest, cert), not just ``classes.dex`` -- the stego
+    stage embeds digests into string resources, so two apps with
+    identical dex but different resources protect to different bytes.
+    """
+    blob = "|".join(
+        (
+            f"v{__version__}.{ARTIFACT_FORMAT}",
+            content_digest_hex,
+            config_digest(config),
+            developer_key.public.fingerprint().hex(),
+            "strict" if strict else "lenient",
+        )
+    )
+    return sha1_hex(blob.encode("utf-8"))
+
+
+@dataclass
+class CachedArtifact:
+    """One cache entry: the protected APK bytes + the report dict."""
+
+    key: str
+    apk_bytes: bytes
+    report: Dict[str, object]
+    app_seed: int
+
+
+class ArtifactCache:
+    """Filesystem-backed, content-addressed artifact store.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` -- the two-char fan-out
+    keeps directories small on market-sized corpora.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[CachedArtifact]:
+        """Look up ``key``; a damaged entry counts as a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("key") != key:
+                raise ValueError("key mismatch")
+            artifact = CachedArtifact(
+                key=key,
+                apk_bytes=base64.b64decode(payload["apk_b64"]),
+                report=payload["report"],
+                app_seed=int(payload.get("app_seed", 0)),
+            )
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(
+        self,
+        key: str,
+        apk_bytes: bytes,
+        report: Dict[str, object],
+        app_seed: int = 0,
+    ) -> None:
+        """Store atomically; concurrent same-key writers are harmless."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "key": key,
+            "app_seed": app_seed,
+            "report": report,
+            "apk_b64": base64.b64encode(apk_bytes).decode("ascii"),
+        }
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", dir=os.path.dirname(path)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".json"))
+        return count

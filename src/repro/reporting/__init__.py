@@ -18,7 +18,9 @@ signing key back to the developer and the market acts (Sections 1,
              after a crash (torn-tail and bit-flip tolerant replay)
 ``fleet``    million-device load driver in O(shards) memory, calibrated
              from real interpreter play sessions
-``metrics``  counters / gauges / fixed-bucket histograms for all of it
+Metrics (counters / gauges / fixed-bucket histograms) live in the
+repo-wide :mod:`repro.metrics`; the old ``repro.reporting.metrics``
+path survives as a deprecated re-export.
 
 ``repro.userside.aggregation`` and ``repro.userside.market`` sit on top
 of this package; the CLI surface is ``repro serve-reports`` and
@@ -28,7 +30,7 @@ of this package; the CLI surface is ``repro serve-reports`` and
 from repro.reporting.client import ReportClient, Transport
 from repro.reporting.durability import DurabilityLog
 from repro.reporting.fleet import FleetConfig, FleetResult, OutcomeModel, run_fleet
-from repro.reporting.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.reporting.server import ReportServer, SubmitStatus, TakedownPolicy
 from repro.reporting.verdicts import AggregatedVerdict
 from repro.reporting.wire import (

@@ -52,7 +52,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.chaos.faults import fault_point
 from repro.errors import DurabilityError, ReproError, WireError
-from repro.reporting.metrics import MetricsRegistry
+from repro.metrics import MetricsRegistry
 from repro.reporting.wire import (
     DetectionReport,
     _decode_body,

@@ -47,7 +47,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import DurabilityError, ReportingError, WireError
-from repro.reporting.metrics import MetricsRegistry
+from repro.metrics import MetricsRegistry
 from repro.reporting.wire import (
     DetectionReport,
     SignedReport,

@@ -108,9 +108,11 @@ def small_apk(developer_key) -> Apk:
 
 @pytest.fixture(scope="session")
 def protection(small_apk, developer_key):
-    """(protected_apk, report) for the small app, all detection methods."""
+    """ProtectionResult for the small app, all detection methods."""
+    # Seed picked so the fixture app yields bombs of every origin AND a
+    # repackaged build detonates quickly under the detection tests.
     config = BombDroidConfig(
-        seed=3,
+        seed=4,
         profiling_events=400,
         detection_methods=(
             DetectionMethod.PUBLIC_KEY,
@@ -129,12 +131,12 @@ def protection(small_apk, developer_key):
 
 @pytest.fixture(scope="session")
 def protected_apk(protection) -> Apk:
-    return protection[0]
+    return protection.apk
 
 
 @pytest.fixture(scope="session")
 def protection_report(protection):
-    return protection[1]
+    return protection.report
 
 
 @pytest.fixture(scope="session")

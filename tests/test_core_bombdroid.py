@@ -141,17 +141,17 @@ class TestRuntimeBehavior:
 class TestConfigAblations:
     def test_single_trigger_config(self, small_apk, developer_key):
         config = BombDroidConfig(seed=5, profiling_events=200, double_trigger=False)
-        _, report = BombDroid(config).protect(small_apk, developer_key)
+        report = BombDroid(config).protect(small_apk, developer_key).report
         assert all(bomb.inner_description == "" for bomb in report.real_bombs())
 
     def test_weaving_disabled(self, small_apk, developer_key):
         config = BombDroidConfig(seed=5, profiling_events=200, weave=False, bogus_ratio=0.0)
-        _, report = BombDroid(config).protect(small_apk, developer_key)
+        report = BombDroid(config).protect(small_apk, developer_key).report
         assert all(not bomb.woven for bomb in report.bombs)
 
     def test_alpha_zero_means_no_artificial(self, small_apk, developer_key):
         config = BombDroidConfig(seed=5, profiling_events=200, alpha=0.0)
-        _, report = BombDroid(config).protect(small_apk, developer_key)
+        report = BombDroid(config).protect(small_apk, developer_key).report
         # alpha=0 keeps at most the one guaranteed pick per the paper's
         # floor of one method; assert it is nearly none.
         assert report.count_by_origin(BombOrigin.ARTIFICIAL) <= 1

@@ -16,10 +16,10 @@ def story():
     """Build -> protect -> pirate, once for the whole module."""
     bundle = build_named_app("Angulo", scale=0.5)
     config = BombDroidConfig(seed=13, profiling_events=600)
-    protected, report = BombDroid(config).protect(bundle.apk, bundle.developer_key)
+    result = BombDroid(config).protect(bundle.apk, bundle.developer_key)
     attacker = RSAKeyPair.generate(seed=1313)
-    pirated = repackage(protected, attacker)
-    return bundle, protected, report, attacker, pirated
+    pirated = repackage(result.apk, attacker)
+    return bundle, result.apk, result.report, attacker, pirated
 
 
 def test_act1_protection_preserves_the_app(story):
