@@ -1,0 +1,169 @@
+"""Static trigger-detector throughput and the resilience separation.
+
+The acceptance bar for the HSO detector (ISSUE 6):
+
+* >= 90% of naive Listing-2 bombs localized (right method AND the
+  guarding branch or inserted block);
+* 0 BombDroid-encrypted bombs localized -- the opaque guards are
+  visible but nothing sensitive hangs under them;
+* the clean-corpus false-positive rate is reported and bounded;
+* scan throughput (methods/second) is recorded and guarded so the
+  analysis stays usable as a strict-mode gate.
+
+Results land in ``BENCH_detector.json`` in the working directory so CI
+can upload them as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.analysis.triggers import analyze_dex
+from repro.core.naive import NaiveProtector
+from repro.crypto import RSAKeyPair
+
+from conftest import print_table
+
+BENCH_OUT = "BENCH_detector.json"
+
+#: Clean-corpus findings per scanned method must stay under this.
+FP_RATE_BOUND = 0.05
+
+#: Throughput floor: the scan must stay cheap enough for strict mode.
+MIN_METHODS_PER_SECOND = 25.0
+
+
+def _timed_scans(apks):
+    """(scans, elapsed_seconds, methods_scanned) over a list of dexes."""
+    scans = []
+    started = time.perf_counter()
+    for apk in apks:
+        scans.append(analyze_dex(apk.dex()))
+    elapsed = time.perf_counter() - started
+    methods = sum(scan.methods_scanned for scan in scans)
+    return scans, elapsed, methods
+
+
+@pytest.fixture(scope="module")
+def naive_corpus(bundles):
+    """name -> (naive_apk, NaiveReport) over the shared named apps."""
+    key = RSAKeyPair.generate(seed=77)
+    return {
+        name: NaiveProtector(seed=1).protect(bundle.apk, key)
+        for name, bundle in bundles.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements(bundles, naive_corpus, protections):
+    clean_scans, clean_s, clean_methods = _timed_scans(
+        [bundle.apk for bundle in bundles.values()]
+    )
+    naive_scans, naive_s, naive_methods = _timed_scans(
+        [apk for apk, _ in naive_corpus.values()]
+    )
+    protected_scans, protected_s, protected_methods = _timed_scans(
+        [protected for protected, _ in protections.values()]
+    )
+
+    placements = [
+        placement
+        for _, report in naive_corpus.values()
+        for placement in report.placements
+    ]
+    findings = [f for scan in naive_scans for f in scan.findings]
+    localized = [
+        placement
+        for placement in placements
+        if any(placement.covers(f.method, f.branch_pc) for f in findings)
+    ]
+
+    clean_findings = sum(len(scan.findings) for scan in clean_scans)
+    protected_findings = sum(len(scan.findings) for scan in protected_scans)
+    opaque_guards = sum(len(scan.opaque_guards) for scan in protected_scans)
+
+    total_methods = clean_methods + naive_methods + protected_methods
+    total_seconds = clean_s + naive_s + protected_s
+    methods_per_second = total_methods / total_seconds if total_seconds else 0.0
+
+    payload = {
+        "apps": len(bundles),
+        "naive_bombs": len(placements),
+        "naive_localized": len(localized),
+        "naive_localization_rate": (
+            round(len(localized) / len(placements), 4) if placements else None
+        ),
+        "encrypted_bombs_localized": protected_findings,
+        "encrypted_opaque_guards_seen": opaque_guards,
+        "clean_findings": clean_findings,
+        "clean_methods_scanned": clean_methods,
+        "clean_fp_rate": (
+            round(clean_findings / clean_methods, 4) if clean_methods else None
+        ),
+        "fp_rate_bound": FP_RATE_BOUND,
+        "methods_scanned_total": total_methods,
+        "scan_seconds_total": round(total_seconds, 4),
+        "methods_per_second": round(methods_per_second, 2),
+        "min_methods_per_second": MIN_METHODS_PER_SECOND,
+    }
+    with open(BENCH_OUT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print_table(
+        "static-detector scan",
+        ["corpus", "apps", "methods", "seconds", "findings"],
+        [
+            ["clean", len(bundles), clean_methods, f"{clean_s:.2f}", clean_findings],
+            ["naive", len(naive_corpus), naive_methods, f"{naive_s:.2f}",
+             len(findings)],
+            ["bombdroid", len(protections), protected_methods,
+             f"{protected_s:.2f}", protected_findings],
+        ],
+    )
+    payload["_scans"] = {
+        "clean": clean_scans, "naive": naive_scans, "protected": protected_scans
+    }
+    payload["_placements"] = placements
+    payload["_findings"] = findings
+    return payload
+
+
+def test_naive_localization_rate_at_least_90pct(measurements):
+    assert measurements["naive_bombs"] > 0
+    rate = measurements["naive_localization_rate"]
+    assert rate >= 0.9, (
+        f"localized {measurements['naive_localized']}/"
+        f"{measurements['naive_bombs']} naive bombs ({rate:.0%})"
+    )
+
+
+def test_zero_encrypted_bombs_localized(measurements):
+    assert measurements["encrypted_bombs_localized"] == 0
+    # Resilience, not blindness: the detector saw the triggers.
+    assert measurements["encrypted_opaque_guards_seen"] > 0
+
+
+def test_clean_fp_rate_bounded(measurements):
+    assert measurements["clean_methods_scanned"] > 0
+    assert measurements["clean_fp_rate"] <= FP_RATE_BOUND, (
+        f"clean corpus FP rate {measurements['clean_fp_rate']:.2%} above "
+        f"the {FP_RATE_BOUND:.0%} bound"
+    )
+
+
+def test_scan_throughput_floor(measurements):
+    assert measurements["methods_per_second"] >= MIN_METHODS_PER_SECOND, (
+        f"{measurements['methods_per_second']:.1f} methods/s below the "
+        f"{MIN_METHODS_PER_SECOND} floor -- too slow for a strict-mode gate"
+    )
+
+
+def test_bench_artifact_written(measurements):
+    with open(BENCH_OUT, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["apps"] == measurements["apps"]
+    assert payload["encrypted_bombs_localized"] == 0
+    assert payload["naive_localization_rate"] >= 0.9

@@ -14,6 +14,7 @@ from repro.attacks import (
     ForcedExecutionAttack,
     InstrumentationAttack,
     SlicingAttack,
+    StaticTriggerDetector,
     SymbolicAttack,
     TextSearchAttack,
 )
@@ -65,6 +66,13 @@ def test_resilience_matrix(benchmark, attacker_key):
         ]
         rows.append(("backward slicing", *map(_verdict, slicing)))
 
+        static = [
+            StaticTriggerDetector().run(apk) for apk in (naive, ssn, bombdroid)
+        ]
+        rows.append(("static trigger analysis", *map(_verdict, static)))
+        details["hso_naive_findings"] = static[0].details["findings"]
+        details["hso_opaque_guards"] = static[2].details["opaque_guards"]
+
         instrumentation = InstrumentationAttack(seed=9)
         instr = [
             instrumentation.run_against_ssn(naive, attacker_key, original_key),
@@ -98,6 +106,11 @@ def test_resilience_matrix(benchmark, attacker_key):
     assert matrix["symbolic execution"][1] == "DEFEATED"   # SSN
     assert matrix["code instrumentation"][1] == "DEFEATED" # SSN
     assert matrix["text search"][0] == "DEFEATED"          # naive
+    assert matrix["static trigger analysis"][0] == "DEFEATED"  # naive
+    assert details["hso_naive_findings"] > 0
+    # The detector saw BombDroid's opaque guards yet the third-column
+    # "resisted" above holds: nothing was localizable under them.
+    assert details["hso_opaque_guards"] > 0
     assert details["hash_walls"] > 0
     assert details["ssn_leaked_key"]
     assert details["deletion_corrupts_bombdroid"]

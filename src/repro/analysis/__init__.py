@@ -11,7 +11,14 @@ Used by two parties:
 """
 
 from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
-from repro.analysis.dominators import dominators, immediate_dominators
+from repro.analysis.dominators import (
+    control_dependence,
+    controlled_blocks,
+    dominators,
+    immediate_dominators,
+    immediate_postdominators,
+    postdominators,
+)
 from repro.analysis.loops import natural_loops, instructions_in_loops
 from repro.analysis.defs import constant_in_block, definition_sites
 from repro.analysis.qualified_conditions import (
@@ -29,13 +36,24 @@ from repro.analysis.verifier import (
     verify_dex,
     verify_method,
 )
+from repro.analysis.triggers import (
+    HsoFinding,
+    PredicateKind,
+    TriggerScan,
+    analyze_dex,
+    analyze_method,
+)
 
 __all__ = [
     "BasicBlock",
     "ControlFlowGraph",
     "build_cfg",
+    "control_dependence",
+    "controlled_blocks",
     "dominators",
     "immediate_dominators",
+    "immediate_postdominators",
+    "postdominators",
     "natural_loops",
     "instructions_in_loops",
     "constant_in_block",
@@ -54,4 +72,9 @@ __all__ = [
     "VERIFIER_RULES",
     "verify_dex",
     "verify_method",
+    "HsoFinding",
+    "PredicateKind",
+    "TriggerScan",
+    "analyze_dex",
+    "analyze_method",
 ]

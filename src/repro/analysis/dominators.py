@@ -1,7 +1,18 @@
-"""Dominator analysis (iterative dataflow formulation).
+"""Dominator and postdominator analysis (iterative dataflow formulation).
 
-Needed by natural-loop detection: an edge ``t -> h`` is a back edge iff
-``h`` dominates ``t``.
+Forward dominators are needed by natural-loop detection: an edge
+``t -> h`` is a back edge iff ``h`` dominates ``t``.
+
+Postdominators run the same dataflow over the reversed CFG and feed
+:func:`control_dependence` -- the Ferrante--Ottenstein--Warren
+construction the static trigger detector (:mod:`repro.analysis.triggers`)
+uses to delimit the code region guarded by a suspicious branch.
+
+Multiple exits are handled without a virtual exit node: every exit
+block (a block with no successors) is initialized to ``{itself}`` and
+the intersection over successors converges to the set of blocks that
+appear on *every* path to *any* exit, which is exactly the
+virtual-exit semantics restricted to real blocks.
 """
 
 from __future__ import annotations
@@ -73,3 +84,103 @@ def immediate_dominators(cfg: ControlFlowGraph) -> Dict[int, Optional[int]]:
             candidate = max(strict, key=lambda d: len(dom[d]))
         idom[index] = candidate
     return idom
+
+
+def postdominators(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
+    """Map block index -> set of block indices postdominating it.
+
+    A block ``p`` postdominates ``n`` when every path from ``n`` to any
+    exit passes through ``p`` (every block postdominates itself).
+    Unreachable blocks get ``{themselves}``, mirroring
+    :func:`dominators`.  Blocks from which no exit is reachable (a
+    statically infinite loop) keep the full set -- every block vacuously
+    postdominates them, which keeps control dependence conservative.
+    """
+    reachable = cfg.reachable()
+    exits = {
+        block.index for block in cfg.blocks
+        if not block.successors and block.index in reachable
+    }
+    all_reachable = set(reachable)
+    pdom: Dict[int, Set[int]] = {}
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            pdom[block.index] = {block.index}
+        elif block.index in exits:
+            pdom[block.index] = {block.index}
+        else:
+            pdom[block.index] = set(all_reachable)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            if block.index in exits or block.index not in reachable:
+                continue
+            successor_pdoms = [
+                pdom[s] for s in block.successors if s in reachable
+            ]
+            if successor_pdoms:
+                new = set.intersection(*successor_pdoms)
+            else:
+                new = set()
+            new.add(block.index)
+            if new != pdom[block.index]:
+                pdom[block.index] = new
+                changed = True
+    return pdom
+
+
+def immediate_postdominators(cfg: ControlFlowGraph) -> Dict[int, Optional[int]]:
+    """Map block index -> its immediate postdominator (None for exits
+    and unreachable blocks)."""
+    pdom = postdominators(cfg)
+    ipdom: Dict[int, Optional[int]] = {}
+    for block in cfg.blocks:
+        index = block.index
+        strict = pdom[index] - {index}
+        if not strict:
+            ipdom[index] = None
+            continue
+        # The ipdom is the strict postdominator postdominated by every
+        # other strict postdominator (the closest one).
+        candidate = None
+        for p in strict:
+            if strict <= pdom[p] | {p}:
+                candidate = p
+                break
+        if candidate is None:
+            candidate = max(strict, key=lambda p: len(pdom[p]))
+        ipdom[index] = candidate
+    return ipdom
+
+
+def control_dependence(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
+    """Map block index -> the branch blocks it is control-dependent on.
+
+    Ferrante--Ottenstein--Warren: for each CFG edge ``u -> v`` where
+    ``v`` does not postdominate ``u``, every block on the postdominator
+    tree path from ``v`` up to (but excluding) ``ipdom(u)`` is
+    control-dependent on ``u``.  A loop header ends up control-dependent
+    on itself, which is the conventional (and useful) reading.
+    """
+    pdom = postdominators(cfg)
+    ipdom = immediate_postdominators(cfg)
+    cdep: Dict[int, Set[int]] = {block.index: set() for block in cfg.blocks}
+    for u, v in cfg.edges():
+        if v != u and v in pdom[u]:
+            continue  # v postdominates u: the edge decides nothing
+        runner: Optional[int] = v
+        stop = ipdom[u]
+        seen: Set[int] = set()
+        while runner is not None and runner != stop and runner not in seen:
+            seen.add(runner)
+            cdep[runner].add(u)
+            runner = ipdom[runner]
+    return cdep
+
+
+def controlled_blocks(cfg: ControlFlowGraph, branch_block: int) -> Set[int]:
+    """Block indices control-dependent on ``branch_block`` (its region)."""
+    cdep = control_dependence(cfg)
+    return {index for index, controllers in cdep.items() if branch_block in controllers}

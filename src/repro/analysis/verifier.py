@@ -294,7 +294,13 @@ class _MethodVerifier:
             instr = instructions[pc]
             after = state if instr.op is Op.LABEL else self._transfer(state, instr)
             successors = self._successors(pc, labels)
-            if not successors and instr.op not in (Op.RETURN, Op.RETURN_VOID, Op.THROW):
+            # Every op except the explicit exits and GOTO has an implicit
+            # fall-through edge; at the last pc that edge runs off the
+            # end even when the op also has branch targets (a trailing
+            # IF_* or SWITCH still falls through on the no-match path).
+            if pc + 1 >= count and instr.op not in (
+                Op.GOTO, Op.RETURN, Op.RETURN_VOID, Op.THROW
+            ):
                 falls_off_end = True
             for successor in successors:
                 merged = (

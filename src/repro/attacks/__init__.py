@@ -18,6 +18,8 @@ BombDroid-protected apps and the SSN baseline:
 ``brute_force``        enumerate dom(X) against Hash(X|salt)==Hc;
                        strength classes of Figure 4
 ``debugging``          the human-analyst model of Section 8.3.2
+``static_detector``    interprocedural HSO detector (Difuzer/TriggerZoo
+                       role): control dependence + taint + scoring
 """
 
 from repro.attacks.base import AttackResult
@@ -31,6 +33,7 @@ from repro.attacks.debugging import DebuggerAttack, HumanAnalystAttack
 from repro.attacks.fuzzing import FuzzingAttack
 from repro.attacks.symbolic import SymbolicExplorer, SymbolicAttack
 from repro.attacks.hooking import VTableHijackAttack
+from repro.attacks.static_detector import StaticTriggerDetector
 
 __all__ = [
     "AttackResult",
@@ -49,4 +52,5 @@ __all__ = [
     "SymbolicExplorer",
     "SymbolicAttack",
     "VTableHijackAttack",
+    "StaticTriggerDetector",
 ]

@@ -1,0 +1,63 @@
+"""The static trigger-analysis adversary (Difuzer / TriggerZoo role).
+
+Wraps :mod:`repro.analysis.triggers` as an attack for the resilience
+matrix: an interprocedural control-dependence + taint pass that ranks
+suspicious guarded regions (hidden sensitive operations).  Against the
+naive Listing-2 bombs it localizes every cleartext detection block;
+against BombDroid it *sees* the hash-opaque triggers but finds no
+sensitive operation to attach them to -- the payload is encrypted, so
+the detector has nothing to localize (reported in
+``details["opaque_guards"]``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.triggers import TriggerScan, analyze_dex
+from repro.apk.package import Apk
+from repro.attacks.base import AttackResult
+
+#: Findings below this score are noise, not localized bombs.
+DEFAULT_MIN_SCORE = 2.0
+
+
+class StaticTriggerDetector:
+    """Interprocedural HSO detector run as an adversary analysis."""
+
+    def __init__(self, min_score: float = DEFAULT_MIN_SCORE) -> None:
+        self.min_score = min_score
+
+    def analyze(self, dex) -> TriggerScan:
+        """Raw whole-program scan (also used by lint and the CLI)."""
+        return analyze_dex(dex, min_score=self.min_score)
+
+    def run(self, apk: Apk) -> AttackResult:
+        scan = self.analyze(apk.dex())
+        found = [finding.site for finding in scan.findings]
+        top: Optional[float] = scan.findings[0].score if scan.findings else None
+        notes = ""
+        if scan.opaque_guards and not scan.findings:
+            notes = (
+                f"{len(scan.opaque_guards)} hash-opaque guard(s) visible but no "
+                f"sensitive operation reachable under them; payloads are "
+                f"encrypted, nothing to localize"
+            )
+        elif scan.findings:
+            notes = (
+                f"top finding {scan.findings[0].describe()}"
+            )
+        return AttackResult(
+            attack="static_trigger_analysis",
+            defeated_defense=bool(scan.findings),
+            bombs_found=found,
+            details={
+                "findings": len(scan.findings),
+                "opaque_guards": len(scan.opaque_guards),
+                "methods_scanned": scan.methods_scanned,
+                "branches_classified": scan.branches_classified,
+                "top_score": round(top, 2) if top is not None else 0.0,
+                "kinds": scan.by_kind(),
+            },
+            notes=notes,
+        )

@@ -7,7 +7,10 @@
     python -m repro protect-batch --corpus apps/ --out protected/ --key-seed 11 \
                               --workers 4 --cache-dir .cache/
     python -m repro inspect   --in protected.apk [--disassemble]
-    python -m repro lint      --in protected.apk [--json] [--rules a,b]
+    python -m repro lint      --in protected.apk [--format human|json|sarif]
+                              [--rules a,b]
+    python -m repro detect    --in suspect.apk [--format human|json|sarif]
+                              [--min-score 2.0] [--top 10]
     python -m repro repackage --in protected.apk --out pirated.apk --key-seed 666
     python -m repro simulate  --in pirated.apk --devices 10 --events 600
     python -m repro attack    --in protected.apk --attack symbolic
@@ -164,10 +167,28 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _lint_rule_catalog():
+    """rule id -> (severity, description), verifier + stealth rules."""
+    from repro.analysis.verifier import VERIFIER_RULES
+    from repro.lint import RULES
+
+    catalog = dict(VERIFIER_RULES)
+    for rule in RULES.values():
+        catalog[rule.id] = (rule.severity, rule.description)
+    return catalog
+
+
 def _cmd_lint(args) -> int:
     import json
 
-    from repro.lint import RULES, errors, format_report, run_lint, sort_diagnostics
+    from repro.lint import (
+        RULES,
+        errors,
+        format_report,
+        run_lint,
+        sort_diagnostics,
+        to_sarif,
+    )
     from repro.analysis.verifier import VERIFIER_RULES
 
     if args.list_rules:
@@ -189,11 +210,77 @@ def _cmd_lint(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(json.dumps([d.to_dict() for d in sort_diagnostics(diagnostics)], indent=2))
+    elif fmt == "sarif":
+        print(json.dumps(
+            to_sarif(diagnostics, tool_name="repro-lint",
+                     rule_catalog=_lint_rule_catalog()),
+            indent=2,
+        ))
     else:
         print(format_report(diagnostics))
     return 1 if errors(diagnostics) else 0
+
+
+def _cmd_detect(args) -> int:
+    """Run the static trigger (HSO) detector over an APK."""
+    import json
+
+    from repro.analysis.triggers import analyze_dex
+    from repro.lint import to_sarif
+
+    apk = load_apk(getattr(args, "in"))
+    scan = analyze_dex(apk.dex(), min_score=args.min_score)
+    findings = scan.findings[: args.top] if args.top else scan.findings
+    truncated = len(scan.findings) - len(findings)
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "total_findings": len(scan.findings),
+            "opaque_guards": scan.opaque_guards,
+            "methods_scanned": scan.methods_scanned,
+            "methods_skipped": scan.methods_skipped,
+            "branches_classified": scan.branches_classified,
+            "by_kind": scan.by_kind(),
+            "min_score": args.min_score,
+        }
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        catalog = {
+            "hso-finding": (
+                None,
+                "suspicious guarded region: candidate hidden sensitive operation",
+            )
+        }
+        print(json.dumps(
+            to_sarif([f.to_diagnostic() for f in findings],
+                     tool_name="repro-detect", rule_catalog=catalog),
+            indent=2,
+        ))
+    else:
+        for rank, finding in enumerate(findings, start=1):
+            print(f"{rank:3}. {finding.describe()}")
+        if truncated:
+            print(f"     ... {truncated} lower-ranked finding(s) suppressed "
+                  f"(--top {args.top})")
+        if findings:
+            print()
+        print(f"scanned {scan.methods_scanned} method(s), classified "
+              f"{scan.branches_classified} branch(es): "
+              f"{len(scan.findings)} finding(s) >= score {args.min_score:g}, "
+              f"{len(scan.opaque_guards)} hash-opaque guard(s) with no "
+              f"localizable payload")
+        if scan.opaque_guards:
+            print("opaque guards (visible trigger, encrypted payload -- "
+                  "nothing to localize):")
+            for site in scan.opaque_guards[:10]:
+                print(f"  {site}")
+            if len(scan.opaque_guards) > 10:
+                print(f"  ... {len(scan.opaque_guards) - 10} more")
+    return EXIT_FAILURE if scan.findings else EXIT_OK
 
 
 def _cmd_repackage(args) -> int:
@@ -240,6 +327,7 @@ def _cmd_attack(args) -> int:
         DeletionAttack,
         ForcedExecutionAttack,
         SlicingAttack,
+        StaticTriggerDetector,
         SymbolicAttack,
         TextSearchAttack,
     )
@@ -253,6 +341,7 @@ def _cmd_attack(args) -> int:
         "deletion": lambda: DeletionAttack(seed=args.seed).run(
             apk, RSAKeyPair.generate(seed=9999)
         ),
+        "static": lambda: StaticTriggerDetector().run(apk),
     }
     result = attacks[args.attack]()
     print(result.summary())
@@ -514,13 +603,30 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="bytecode verifier + bomb-stealth lint over an APK"
     )
     lint.add_argument("--in", default=None)
+    lint.add_argument("--format", choices=["human", "json", "sarif"],
+                      default="human", help="report format")
     lint.add_argument("--json", action="store_true",
-                      help="emit diagnostics as a JSON array")
+                      help="emit diagnostics as a JSON array "
+                           "(alias for --format json)")
     lint.add_argument("--rules", default=None,
                       help="comma-separated stealth rule ids (default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    detect = sub.add_parser(
+        "detect",
+        help="static trigger analysis: rank suspicious guarded regions",
+    )
+    detect.add_argument("--in", required=True)
+    detect.add_argument("--format", choices=["human", "json", "sarif"],
+                        default="human", help="report format")
+    detect.add_argument("--min-score", type=float, default=2.0,
+                        help="drop findings scoring below this")
+    detect.add_argument("--top", type=int, default=0,
+                        help="print only the N highest-scoring findings "
+                             "(0 = all)")
+    detect.set_defaults(func=_cmd_detect)
 
     repack = sub.add_parser("repackage", help="the adversary's pipeline")
     repack.add_argument("--in", required=True)
@@ -538,7 +644,8 @@ def build_parser() -> argparse.ArgumentParser:
     attack = sub.add_parser("attack", help="run an adversary analysis")
     attack.add_argument("--in", required=True)
     attack.add_argument(
-        "--attack", choices=["text", "symbolic", "forced", "slicing", "deletion"],
+        "--attack",
+        choices=["text", "symbolic", "forced", "slicing", "deletion", "static"],
         required=True,
     )
     attack.add_argument("--seed", type=int, default=0)

@@ -25,10 +25,38 @@ from repro.dex.opcodes import Op
 
 
 @dataclass
+class NaiveSite:
+    """Ground truth for one planted bomb, in *final* (post-insertion)
+    instruction coordinates.
+
+    ``branch_pc`` is the qualified condition's branch; the detection
+    block occupies ``[start, end)`` right after it.  A static detector
+    "localizes" the bomb when it flags this method at ``branch_pc`` or
+    anywhere inside the inserted block.
+    """
+
+    method: str
+    branch_pc: int
+    start: int
+    end: int
+
+    def covers(self, method: str, pc: int) -> bool:
+        return method == self.method and (
+            pc == self.branch_pc or self.start <= pc < self.end
+        )
+
+
+@dataclass
 class NaiveReport:
-    """Where naive bombs were planted."""
+    """Where naive bombs were planted.
+
+    ``sites`` keeps the legacy ``method@pc`` strings (pre-insertion
+    branch pcs, in insertion order); ``placements`` carries the
+    adjusted coordinates evaluation code should use.
+    """
 
     sites: List[str] = field(default_factory=list)
+    placements: List[NaiveSite] = field(default_factory=list)
 
 
 class NaiveProtector:
@@ -52,16 +80,33 @@ class NaiveProtector:
                 if not qc.equal_jumps and qc.kind.value != "switch_case"
             ]
             # Bottom-up so earlier pcs stay valid.
+            inserted: List[int] = []
+            block_len = 0
             for qc in sorted(qcs, key=lambda q: -q.branch_pc):
                 if len(report.sites) >= self._max_sites:
                     break
                 block = self._detection_block(method, original_key_hex)
+                block_len = len(block)
                 # Insert right after the branch: runs exactly when the
                 # original equality held.
                 method.instructions[qc.branch_pc + 1 : qc.branch_pc + 1] = block
                 method.invalidate()
                 method.validate()
                 report.sites.append(f"{method.qualified_name}@{qc.branch_pc}")
+                inserted.append(qc.branch_pc)
+            # Each bottom-up insertion shifts every *higher* site by one
+            # block length; record final coordinates for evaluation.
+            for original_pc in sorted(inserted):
+                below = sum(1 for other in inserted if other < original_pc)
+                adjusted = original_pc + block_len * below
+                report.placements.append(
+                    NaiveSite(
+                        method=method.qualified_name,
+                        branch_pc=adjusted,
+                        start=adjusted + 1,
+                        end=adjusted + 1 + block_len,
+                    )
+                )
 
         dex.validate()
         return build_apk(dex, resources, developer_key), report

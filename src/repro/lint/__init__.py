@@ -23,6 +23,7 @@ from repro.lint.diagnostics import (
     sort_diagnostics,
 )
 from repro.lint.engine import DEFAULT_MIN_QC_ENTROPY, LintContext, run_lint, selected_rules
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION, to_sarif
 from repro.lint.rules import (
     PLAINTEXT_DETECTION_APIS,
     RULES,
@@ -47,4 +48,7 @@ __all__ = [
     "BombSite",
     "Rule",
     "bomb_sites",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "to_sarif",
 ]

@@ -22,6 +22,9 @@ Rule catalog (paper anchors in parentheses):
                         text-search adversary (§2.1 / attacks/text_search)
 ``weak-salt``           two bombs share one salt, collapsing their key
                         domains (§3.2: per-bomb random salt)
+``hso-localizable``     our own static trigger detector (Difuzer role,
+                        :mod:`repro.analysis.triggers`) can localize a
+                        bomb's payload -- the stealth claim is void
 ======================  =====================================================
 """
 
@@ -506,3 +509,53 @@ def check_weak_salt(ctx: "LintContext") -> Iterator[Diagnostic]:
                     f"cracking one trigger cracks them all"
                 ),
             )
+
+
+#: A trigger-detector finding within this many pcs *before* a bomb's
+#: ``bomb.hash`` still localizes the bomb: the surrounding qualified
+#: condition's branch guards the whole prologue.
+_HSO_GUARD_WINDOW = 12
+
+
+@rule(
+    "hso-localizable",
+    Severity.ERROR,
+    "§5 / Difuzer",
+    "our own static trigger detector can localize a bomb's payload",
+)
+def check_hso_localizable(ctx: "LintContext") -> Iterator[Diagnostic]:
+    """Run the in-house HSO detector against the protected app.
+
+    BombDroid's stealth claim is precisely that an interprocedural
+    control-dependence + taint pass cannot attach a sensitive operation
+    to the encrypted triggers.  If a finding lands inside (or on the
+    guard of) a recovered bomb site, the protected app fails its own
+    strongest static adversary and must not ship.
+    """
+    sites = ctx.sites()
+    if not sites:
+        return  # nothing protected, nothing to localize
+    # Imported at call time: triggers sits above the dex model only,
+    # but keeping lint import-light mirrors the engine's verifier import.
+    from repro.analysis.triggers import analyze_dex
+
+    scan = analyze_dex(ctx.dex)
+    for finding in scan.findings:
+        for site in sites:
+            if finding.method != site.method.qualified_name:
+                continue
+            end = site.load_run_pc if site.load_run_pc is not None else site.hash_pc
+            if site.hash_pc - _HSO_GUARD_WINDOW <= finding.branch_pc <= end:
+                yield Diagnostic(
+                    rule="hso-localizable",
+                    severity=Severity.ERROR,
+                    method=finding.method,
+                    span=(finding.branch_pc, finding.branch_pc + 1),
+                    message=(
+                        f"bomb {site.bomb_id or '?'} is localizable by static "
+                        f"trigger analysis: {finding.kind.value} guard with "
+                        f"sinks {list(finding.sinks)} "
+                        f"(score {finding.score:.1f})"
+                    ),
+                )
+                break

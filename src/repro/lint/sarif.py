@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 rendering of diagnostics.
+
+``repro lint --format sarif`` and ``repro detect --format sarif`` emit
+this so CI can upload findings as code-scanning artifacts.  The repro
+ISA has no source files, so findings anchor to *logical* locations
+(``Class.method@pc``) rather than physical ones -- SARIF supports this
+natively via ``logicalLocations``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity, sort_diagnostics
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _result(diag: Diagnostic) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": diag.rule,
+        "level": _LEVELS.get(diag.severity, "warning"),
+        "message": {"text": diag.message},
+    }
+    if diag.method is not None:
+        logical: Dict[str, object] = {
+            "fullyQualifiedName": diag.location,
+            "kind": "function",
+        }
+        result["locations"] = [{"logicalLocations": [logical]}]
+    return result
+
+
+def to_sarif(
+    diagnostics: Iterable[Diagnostic],
+    tool_name: str = "repro-lint",
+    rule_catalog: Optional[Dict[str, Tuple[Severity, str]]] = None,
+) -> Dict[str, object]:
+    """One SARIF log dict (caller ``json.dumps``-es it).
+
+    ``rule_catalog`` optionally maps rule ids to ``(severity,
+    description)`` pairs for the tool's rule metadata; rules that only
+    appear in results are synthesized with empty descriptions.
+    """
+    ordered = sort_diagnostics(diagnostics)
+    rule_ids: List[str] = []
+    for diag in ordered:
+        if diag.rule not in rule_ids:
+            rule_ids.append(diag.rule)
+
+    rules: List[Dict[str, object]] = []
+    for rule_id in rule_ids:
+        entry: Dict[str, object] = {"id": rule_id}
+        if rule_catalog and rule_id in rule_catalog:
+            _, description = rule_catalog[rule_id]
+            entry["shortDescription"] = {"text": description}
+        rules.append(entry)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(diag) for diag in ordered],
+            }
+        ],
+    }

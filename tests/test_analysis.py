@@ -6,10 +6,14 @@ from repro.analysis import (
     backward_slice,
     body_region,
     build_cfg,
+    control_dependence,
+    controlled_blocks,
     dominators,
     find_qualified_conditions,
+    immediate_postdominators,
     instructions_in_loops,
     natural_loops,
+    postdominators,
     region_is_weavable,
 )
 from repro.analysis.defs import constant_in_block, register_used_once, use_sites
@@ -302,3 +306,162 @@ class TestSlicing:
     def test_criterion_out_of_range(self):
         with pytest.raises(IndexError):
             backward_slice(method_of("return r0"), 99)
+
+
+class TestPostdominators:
+    def test_exit_postdominates_all_reachable(self):
+        cfg = build_cfg(method_of(DIAMOND))
+        pdom = postdominators(cfg)
+        exit_block = cfg.block_of(len(cfg.method.instructions) - 1).index
+        for index in cfg.reachable():
+            assert exit_block in pdom[index]
+
+    def test_join_postdominates_both_arms(self):
+        cfg = build_cfg(method_of(DIAMOND))
+        pdom = postdominators(cfg)
+        join = cfg.block_of(cfg.method.resolve("join")).index
+        arms = [
+            block.index
+            for block in cfg.blocks
+            if block.index not in (0, join) and block.index in cfg.reachable()
+        ]
+        assert arms
+        for arm in arms:
+            assert join in pdom[arm]
+
+    def test_immediate_postdominator_of_branch_is_join(self):
+        cfg = build_cfg(method_of(DIAMOND))
+        ipdom = immediate_postdominators(cfg)
+        join = cfg.block_of(cfg.method.resolve("join")).index
+        assert ipdom[0] == join
+
+    def test_exit_has_no_immediate_postdominator(self):
+        cfg = build_cfg(method_of(DIAMOND))
+        ipdom = immediate_postdominators(cfg)
+        exit_block = cfg.block_of(len(cfg.method.instructions) - 1).index
+        assert ipdom[exit_block] is None
+
+    def test_diamond_arms_control_dependent_on_branch(self):
+        cfg = build_cfg(method_of(DIAMOND))
+        cdep = control_dependence(cfg)
+        join = cfg.block_of(cfg.method.resolve("join")).index
+        arms = {
+            block.index
+            for block in cfg.blocks
+            if block.index not in (0, join) and block.index in cfg.reachable()
+        }
+        for arm in arms:
+            assert cdep[arm] == {0}
+        # The join executes regardless of the branch outcome.
+        assert cdep[join] == set()
+        assert controlled_blocks(cfg, 0) == arms
+
+    def test_loop_header_control_dependent_on_itself(self):
+        cfg = build_cfg(method_of(LOOPY))
+        cdep = control_dependence(cfg)
+        header = cfg.block_of(cfg.method.resolve("loop")).index
+        body = cfg.block_of(
+            next(pc for pc, i in enumerate(cfg.method.instructions)
+                 if i.op.value == "add_lit")
+        ).index
+        assert header in cdep[body]
+        assert header in cdep[header]  # iterating again depends on the test
+
+    def test_single_block_method_trivial(self):
+        cfg = build_cfg(method_of("const r1, 5\nreturn r1"))
+        assert len(cfg.blocks) == 1
+        assert postdominators(cfg)[0] == {0}
+        assert immediate_postdominators(cfg)[0] is None
+        assert control_dependence(cfg)[0] == set()
+
+    def test_unreachable_block_is_its_own_postdominator_set(self):
+        method = method_of("goto @end\nconst r1, 1\n@end:\nreturn_void")
+        cfg = build_cfg(method)
+        dead = cfg.block_of(1).index
+        assert dead not in cfg.reachable()
+        assert postdominators(cfg)[dead] == {dead}
+        assert control_dependence(cfg)[dead] == set()
+
+
+class TestCfgEdgeCases:
+    def test_unreachable_after_goto(self):
+        method = method_of("goto @end\nconst r1, 1\nconst r2, 2\n@end:\nreturn_void")
+        cfg = build_cfg(method)
+        reachable = cfg.reachable()
+        dead = cfg.block_of(1)
+        assert dead.index not in reachable
+        # Entry still reaches the goto target.
+        assert cfg.block_of(method.resolve("end")).index in reachable
+
+    def test_single_block_method(self):
+        cfg = build_cfg(method_of("const r1, 5\nreturn r1"))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+        assert cfg.reachable() == {0}
+        assert list(cfg.blocks[0].pcs()) == [0, 1]
+
+    def test_loop_with_multiple_back_edges(self):
+        body = """
+        @loop:
+            if_ge r0, r0, @exit
+            if_ge r0, r0, @loop
+            goto @loop
+        @exit:
+            return_void
+        """
+        method = method_of(body)
+        cfg = build_cfg(method)
+        header = cfg.block_of(method.resolve("loop")).index
+        back_edges = [(u, v) for u, v in cfg.edges() if v == header]
+        assert len(back_edges) == 2
+        loops = natural_loops(cfg)
+        assert loops
+        assert all(loop_header == header and header in body
+                   for loop_header, body in loops)
+
+    def test_conditional_branch_at_last_pc_has_no_fallthrough_edge(self):
+        # Trailing IF with no instruction after it: the only CFG edge is
+        # the taken branch; the verifier flags the missing fall-through
+        # as fall-off-end (cross-checked in test_analysis_verifier).
+        method = method_of("@top:\nconst r1, 1\nif_eqz r1, @top")
+        cfg = build_cfg(method)
+        last = cfg.block_of(len(method.instructions) - 1)
+        top = cfg.block_of(method.resolve("top")).index
+        assert last.successors == [top]
+
+
+class TestVerifierCfgReachabilityAgreement:
+    """cfg.reachable() and the verifier's dataflow must agree on which
+    instructions are dead -- the detector trusts the CFG, strict mode
+    trusts the verifier, and they must not diverge."""
+
+    BODIES = [
+        DIAMOND,
+        LOOPY,
+        "goto @end\nconst r1, 1\nconst r2, 2\n@end:\nreturn_void",
+        "return r0\nconst r1, 1\nreturn r1",
+        "const r1, 5\nreturn r1",
+        "switch r0, {1 -> @a, 2 -> @b}\nreturn_void\n@a:\nreturn_void\n@b:\nreturn_void",
+        "@loop:\nif_ge r0, r0, @done\nadd_lit r0, r0, 1\ngoto @loop\n@done:\nreturn_void",
+    ]
+
+    @pytest.mark.parametrize("body", BODIES)
+    def test_unreachable_sets_agree(self, body):
+        from repro.analysis.verifier import verify_method
+        from repro.dex.opcodes import Op
+
+        method = method_of(body)
+        cfg = build_cfg(method)
+        reachable_blocks = cfg.reachable()
+        cfg_dead = {
+            pc
+            for block in cfg.blocks
+            if block.index not in reachable_blocks
+            for pc in block.pcs()
+            if method.instructions[pc].op not in (Op.LABEL, Op.NOP)
+        }
+        verifier_dead = set()
+        for diag in verify_method(method):
+            if diag.rule == "unreachable-code" and diag.span:
+                verifier_dead.update(range(diag.span[0], diag.span[1]))
+        assert cfg_dead == verifier_dead

@@ -185,6 +185,23 @@ class TestDataflow:
         assert rules_of(diagnostics) == {"fall-off-end"}
         assert not errors(diagnostics)
 
+    def test_fall_off_end_trailing_conditional_branch(self):
+        # The branch has a taken-edge successor, but the not-taken path
+        # still runs past the last instruction.
+        method = method_of("@top:\nconst r1, 1\nif_eqz r1, @top")
+        assert "fall-off-end" in rules_of(verify_method(method))
+
+    def test_fall_off_end_trailing_switch(self):
+        method = method_of("@a:\nswitch r0, {1 -> @a}")
+        assert "fall-off-end" in rules_of(verify_method(method))
+
+    def test_trailing_goto_does_not_fall_off(self):
+        method = method_of("@top:\nconst r1, 1\ngoto @top")
+        assert "fall-off-end" not in rules_of(verify_method(method))
+
+    def test_trailing_return_does_not_fall_off(self):
+        assert verify_method(method_of("return r0")) == []
+
     def test_type_mismatch_string_into_add(self):
         method = method_of('const r1, "hi"\nadd r2, r0, r1\nreturn r2')
         diagnostics = verify_method(method)

@@ -1,0 +1,138 @@
+"""StaticTriggerDetector: the resilience claim, both directions.
+
+Naive cleartext bombs must be localized (correct method + branch pc);
+BombDroid-encrypted bombs must not be -- the detector sees the opaque
+guards but has no payload to attach them to; clean apps must produce
+zero findings (the false-positive bound).
+"""
+
+import pytest
+
+from repro.analysis.triggers import analyze_dex
+from repro.attacks import StaticTriggerDetector
+from repro.core.naive import NaiveProtector
+from repro.corpus import build_app
+from repro.crypto import RSAKeyPair
+from repro.lint import errors, run_lint
+
+
+@pytest.fixture(scope="module")
+def corpus_bundle():
+    return build_app("DetectorApp", seed=3, scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def naive_protected(corpus_bundle):
+    key = RSAKeyPair.generate(seed=77)
+    return NaiveProtector(seed=1).protect(corpus_bundle.apk, key)
+
+
+class TestCleanApps:
+    def test_clean_corpus_app_zero_findings(self, corpus_bundle):
+        result = StaticTriggerDetector().run(corpus_bundle.apk)
+        assert not result.defeated_defense
+        assert result.bombs_found == []
+        assert result.details["findings"] == 0
+        assert result.details["opaque_guards"] == 0
+
+    def test_clean_fixture_app_zero_findings(self, small_apk):
+        result = StaticTriggerDetector().run(small_apk)
+        assert not result.defeated_defense
+
+
+class TestNaiveBombs:
+    def test_naive_bombs_localized(self, naive_protected):
+        apk, report = naive_protected
+        assert report.placements
+        scan = analyze_dex(apk.dex())
+        localized = [
+            placement
+            for placement in report.placements
+            if any(
+                placement.covers(finding.method, finding.branch_pc)
+                for finding in scan.findings
+            )
+        ]
+        rate = len(localized) / len(report.placements)
+        assert rate >= 0.9, (
+            f"localized {len(localized)}/{len(report.placements)} naive bombs"
+        )
+
+    def test_attack_result_defeats_naive(self, naive_protected):
+        apk, _ = naive_protected
+        result = StaticTriggerDetector().run(apk)
+        assert result.attack == "static_trigger_analysis"
+        assert result.defeated_defense
+        assert result.details["top_score"] > 0
+        assert "detection_probe" in result.details["kinds"]
+
+    def test_placement_coordinates_point_at_real_blocks(self, naive_protected):
+        apk, report = naive_protected
+        dex = apk.dex()
+        methods = {m.qualified_name: m for m in dex.iter_methods()}
+        for placement in report.placements:
+            method = methods[placement.method]
+            first = method.instructions[placement.start]
+            assert first.op.value == "invoke"
+            assert first.value == "android.pm.get_public_key"
+
+
+class TestBombDroidResists:
+    def test_no_findings_on_protected_app(self, protected_apk, protection_report):
+        assert protection_report.total_injected > 0
+        result = StaticTriggerDetector().run(protected_apk)
+        assert not result.defeated_defense
+        assert result.bombs_found == []
+        # The triggers are visible -- the detector counts them -- but
+        # nothing sensitive is reachable under them.
+        assert result.details["opaque_guards"] > 0
+        assert "hash-opaque" in result.notes
+
+    def test_opaque_guard_count_matches_scan(self, protected_apk):
+        scan = StaticTriggerDetector().analyze(protected_apk.dex())
+        assert scan.findings == []
+        assert len(scan.opaque_guards) > 0
+        assert scan.branches_classified >= len(scan.opaque_guards)
+
+
+class TestHsoLocalizableLintRule:
+    def test_silent_on_real_bombdroid_output(self, protected_apk):
+        diagnostics = run_lint(protected_apk.dex(), rules=["hso-localizable"])
+        assert diagnostics == []
+
+    def test_silent_on_clean_app(self, small_apk):
+        diagnostics = run_lint(small_apk.dex(), rules=["hso-localizable"])
+        assert diagnostics == []
+
+    def test_fires_on_cleartext_payload_next_to_prologue(self):
+        # A botched protection: the prologue is right, but the payload
+        # (a guarded throw) was left in cleartext instead of encrypted.
+        # Our own detector localizes it, and lint must refuse to ship it.
+        from repro.dex import DexClass, DexFile, assemble_method
+
+        digest = "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12"
+        body = f"""
+            const r1, "73616c74"
+            const r2, "bomb-0"
+            invoke r3, bomb.hash, r0, r1, r2
+            const r4, "{digest}"
+            invoke r5, java.str.equals, r3, r4
+            if_eqz r5, @no_match
+            const r6, 2
+            new_array r7, r6
+            invoke r8, bomb.derive, r0, r1
+            const r9, "00ff"
+            invoke r10, bomb.load_run, r8, r9, r7, r0
+            const r11, "leaked: repackaging detected"
+            throw r11
+        @no_match:
+            return_void
+        """
+        dex = DexFile()
+        cls = dex.add_class(DexClass(name="Leaky"))
+        cls.add_method(assemble_method(body, class_name="Leaky", name="check", params=1))
+        diagnostics = run_lint(dex, rules=["hso-localizable"])
+        assert errors(diagnostics)
+        (diag,) = diagnostics
+        assert diag.rule == "hso-localizable"
+        assert diag.method == "Leaky.check"

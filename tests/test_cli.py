@@ -181,3 +181,126 @@ def test_recover_missing_dir_fails(workdir, capsys):
     code = main(["recover", "--data-dir", str(workdir / "nope")])
     assert code == 1
     assert "no durable state" in capsys.readouterr().err
+
+
+def _naive_apk_file(workdir):
+    """A naive-protected corpus app saved to disk, plus its clean twin."""
+    from repro.cli import _save_with_manifest
+    from repro.core.naive import NaiveProtector
+    from repro.corpus import build_app
+    from repro.crypto import RSAKeyPair
+
+    bundle = build_app("CliDetect", seed=3, scale=0.2)
+    clean = str(workdir / "clean.rapk")
+    _save_with_manifest(bundle.apk, clean)
+    naive, _ = NaiveProtector(seed=1).protect(
+        bundle.apk, RSAKeyPair.generate(seed=77)
+    )
+    naive_path = str(workdir / "naive.rapk")
+    _save_with_manifest(naive, naive_path)
+    return clean, naive_path
+
+
+def test_detect_subcommand_exit_codes(workdir, capsys):
+    clean, naive = _naive_apk_file(workdir)
+
+    assert main(["detect", "--in", clean]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+    assert main(["detect", "--in", naive]) == 1
+    out = capsys.readouterr().out
+    assert "detection_probe" in out
+    assert "score=" in out
+
+
+def test_detect_top_and_min_score(workdir, capsys):
+    _, naive = _naive_apk_file(workdir)
+
+    assert main(["detect", "--in", naive, "--top", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "suppressed" in out
+    assert out.count("score=") == 2
+
+    # An absurd threshold silences everything -> clean exit.
+    assert main(["detect", "--in", naive, "--min-score", "1000"]) == 0
+    capsys.readouterr()
+
+
+def test_detect_json_output(workdir, capsys):
+    import json
+
+    _, naive = _naive_apk_file(workdir)
+    assert main(["detect", "--in", naive, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total_findings"] > 0
+    assert payload["findings"][0]["score"] >= payload["findings"][-1]["score"]
+    assert {"method", "branch_pc", "kind", "sinks"} <= set(payload["findings"][0])
+    assert payload["by_kind"].get("detection_probe", 0) > 0
+
+
+def test_detect_sarif_output(workdir, capsys):
+    import json
+
+    clean, naive = _naive_apk_file(workdir)
+
+    assert main(["detect", "--in", naive, "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-detect"
+    assert run["results"]
+    result = run["results"][0]
+    assert result["ruleId"] == "hso-finding"
+    (location,) = result["locations"]
+    assert "@" in location["logicalLocations"][0]["fullyQualifiedName"]
+
+    assert main(["detect", "--in", clean, "--format", "sarif"]) == 0
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["runs"][0]["results"] == []
+
+
+def test_lint_format_sarif(workdir, capsys):
+    import json
+
+    from repro.apk import Resources, build_apk
+    from repro.cli import _save_with_manifest
+    from repro.crypto import RSAKeyPair
+    from repro.dex import assemble
+
+    dex = assemble(
+        ".class A\n.method m 0\n"
+        "invoke r0, android.pm.get_public_key\nreturn r0\n.end"
+    )
+    apk = build_apk(dex, Resources(strings={"app_name": "A"}),
+                    RSAKeyPair.generate(seed=77))
+    path = str(workdir / "leaky.rapk")
+    _save_with_manifest(apk, path)
+
+    assert main(["lint", "--in", path, "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    (run,) = sarif["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = {result["ruleId"] for result in run["results"]}
+    assert "text-search-surface" in rule_ids
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert rule_ids <= declared
+    levels = {result["level"] for result in run["results"]}
+    assert levels <= {"error", "warning", "note"}
+
+    # --json stays a working alias.
+    assert main(["lint", "--in", path, "--json"]) == 1
+    parsed = json.loads(capsys.readouterr().out)
+    assert isinstance(parsed, list)
+
+
+def test_attack_subcommand_static(workdir, capsys):
+    clean, naive = _naive_apk_file(workdir)
+
+    assert main(["attack", "--in", naive, "--attack", "static"]) == 1
+    out = capsys.readouterr().out
+    assert "static_trigger_analysis" in out
+
+    assert main(["attack", "--in", clean, "--attack", "static"]) == 0
+    out = capsys.readouterr().out
+    assert "resisted" in out
