@@ -1,0 +1,188 @@
+"""Networked ingestion bench: latency, throughput, failover convergence.
+
+Three properties gate the TCP reporting service:
+
+* p99 ingest latency (from the ``reporting.net.ingest_seconds``
+  histogram the service itself records) stays under a loose ceiling;
+* pipelined frames/sec over one loopback connection beats a
+  conservative floor (RSA signature verification dominates);
+* a fleet run over TCP with a mid-run leader kill + follower
+  promotion reaches the same verdict as the uninterrupted in-process
+  baseline on the same seed.
+
+Results land in ``BENCH_net_ingest.json`` in the working directory so
+CI can upload them as an artifact.  Scale via ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+
+import pytest
+
+from repro.crypto import RSAKeyPair
+from repro.reporting import (
+    AggregatedVerdict,
+    DetectionReport,
+    FleetConfig,
+    OutcomeModel,
+    ReportServer,
+    SubmitStatus,
+    TakedownPolicy,
+    encode_report,
+    run_fleet,
+    sign_report,
+)
+from repro.reporting.net import ServiceHandle, TcpTransport
+
+from conftest import SCALE, print_table
+
+BENCH_OUT = "BENCH_net_ingest.json"
+FRAMES = max(400, int(2000 * SCALE))
+
+#: Conservative floors/ceilings -- a laptop does far better; these only
+#: catch order-of-magnitude regressions without flaking CI.
+MIN_FRAMES_PER_SECOND = 50
+MAX_P99_SECONDS = 1.0
+
+ORIGINAL = "aa" * 20
+PIRATE = "bb" * 20
+
+FLEET_MODEL = OutcomeModel(
+    report_rate=1.0, observed_key_hex=PIRATE, bad_experience_rate=0.35
+)
+
+
+def _signed_frames(count):
+    attest = RSAKeyPair.generate(seed=31)
+    frames = []
+    for i in range(count):
+        signed = sign_report(
+            DetectionReport(
+                app_name="Game",
+                bomb_id=f"b{i % 16:03d}",
+                device_id=f"dev-{i:06d}",
+                observed_key_hex=PIRATE,
+                timestamp=10.0 + i * 0.001,
+                nonce=10_000 + i,
+            ),
+            attest,
+        )
+        frames.append(encode_report(signed))
+    return frames
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory):
+    frames = _signed_frames(FRAMES)
+
+    server = ReportServer(shards=8, policy=TakedownPolicy(distinct_devices=3))
+    server.register_app("Game", ORIGINAL)
+    handle = ServiceHandle.start(server, shard_queue_depth=4096)
+    transport = TcpTransport(handle.address)
+    started = time.perf_counter()
+    statuses = transport.send_many(frames)
+    ingest_s = time.perf_counter() - started
+    transport.close()
+    accepted = sum(1 for s in statuses if s is SubmitStatus.ACCEPTED)
+    hist = handle.call(
+        lambda s: s.metrics.snapshot()["reporting.net.ingest_seconds"]
+    )
+    handle.stop()
+
+    # Failover convergence: in-process baseline vs TCP with a leader
+    # kill + follower promotion at batch 3, same seed.
+    base = FleetConfig(
+        devices=4000, batch_size=500, shards=4, seed=9,
+        target_reports=120, attestation_pool=2,
+    )
+    baseline = run_fleet("Game", ORIGINAL, FLEET_MODEL, base)
+    state = tmp_path_factory.mktemp("net-ingest-fleet")
+    failover = run_fleet(
+        "Game", ORIGINAL, FLEET_MODEL,
+        dataclasses.replace(
+            base, transport="tcp",
+            data_dir=str(state / "leader"),
+            replica_dir=str(state / "replica"),
+            failover_after_batch=3, snapshot_every=16,
+        ),
+    )
+    verdict_matches = (
+        failover.verdict is baseline.verdict
+        and failover.offender_key == baseline.offender_key
+    )
+
+    payload = {
+        "frames": FRAMES,
+        "frames_accepted": accepted,
+        "ingest_seconds": round(ingest_s, 4),
+        "frames_per_second": round(FRAMES / ingest_s, 1) if ingest_s else None,
+        "ingest_p50_seconds": hist["p50"],
+        "ingest_p99_seconds": hist["p99"],
+        "ingest_mean_seconds": hist["mean"],
+        "failover_recoveries": failover.recoveries,
+        "failover_verdict": failover.verdict.name.lower(),
+        "baseline_verdict": baseline.verdict.name.lower(),
+        "failover_verdict_matches_baseline": verdict_matches,
+    }
+    with open(BENCH_OUT, "w", encoding="utf-8") as handle_:
+        json.dump(payload, handle_, indent=2)
+
+    print_table(
+        "net ingest",
+        ["metric", "value"],
+        [
+            ["frames", FRAMES],
+            ["frames/s", f"{payload['frames_per_second']:.0f}"],
+            ["p50 latency", f"{hist['p50'] * 1e3:.3f} ms"],
+            ["p99 latency", f"{hist['p99'] * 1e3:.3f} ms"],
+            ["failover verdict", payload["failover_verdict"]],
+            ["matches baseline", verdict_matches],
+        ],
+    )
+    return {
+        "statuses": statuses,
+        "accepted": accepted,
+        "hist": hist,
+        "ingest_s": ingest_s,
+        "baseline": baseline,
+        "failover": failover,
+    }
+
+
+def test_every_frame_answered(measurements):
+    assert len(measurements["statuses"]) == FRAMES
+    assert measurements["accepted"] == FRAMES
+    assert measurements["hist"]["count"] == FRAMES
+
+
+def test_throughput_floor(measurements):
+    rate = FRAMES / measurements["ingest_s"]
+    assert rate >= MIN_FRAMES_PER_SECOND, (
+        f"{rate:,.0f} frames/s below the {MIN_FRAMES_PER_SECOND}/s floor"
+    )
+
+
+def test_p99_latency_ceiling(measurements):
+    p99 = measurements["hist"]["p99"]
+    assert 0 < p99 <= MAX_P99_SECONDS, (
+        f"p99 ingest latency {p99:.4f}s outside (0, {MAX_P99_SECONDS}]s"
+    )
+
+
+def test_failover_converges_to_baseline(measurements):
+    baseline, failover = measurements["baseline"], measurements["failover"]
+    assert failover.recoveries == 1
+    assert failover.verdict is baseline.verdict is AggregatedVerdict.TAKEDOWN
+    assert failover.offender_key == baseline.offender_key == PIRATE
+
+
+def test_bench_artifact_written(measurements):
+    with open(BENCH_OUT, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["frames"] == FRAMES
+    assert payload["ingest_p99_seconds"] > 0
+    assert payload["frames_per_second"] > 0
+    assert payload["failover_verdict_matches_baseline"] is True

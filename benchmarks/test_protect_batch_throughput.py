@@ -25,7 +25,7 @@ from repro.apk.io import apk_to_bytes
 from repro.core import BombDroidConfig
 from repro.corpus import build_app
 from repro.crypto import RSAKeyPair
-from repro.pipeline import BatchJob, BatchOptions, protect_batch
+from repro.pipeline import BatchJob, BatchOptions, protect_batch, resolve_workers
 
 from conftest import SCALE, print_table
 
@@ -67,6 +67,7 @@ def measurements(corpus, config, tmp_path_factory):
 
     serial_s, serial = timed(BatchOptions(workers=1))
     parallel_s, parallel = timed(BatchOptions(workers=PARALLEL_WORKERS))
+    auto_s, auto = timed(BatchOptions(workers="auto"))
     cold_s, cold = timed(BatchOptions(workers=1, cache_dir=cache_dir))
     warm_s, warm = timed(BatchOptions(workers=1, cache_dir=cache_dir))
 
@@ -79,6 +80,9 @@ def measurements(corpus, config, tmp_path_factory):
         "parallel_seconds": round(parallel_s, 4),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "speedup_asserted": ENOUGH_CORES,
+        "auto_seconds": round(auto_s, 4),
+        "auto_workers_resolved": auto.workers,
+        "auto_serial_fallback": auto.serial_fallback,
         "serial_apps_per_second": round(serial.apps_per_second, 3),
         "parallel_apps_per_second": round(parallel.apps_per_second, 3),
         "cold_cache_seconds": round(cold_s, 4),
@@ -96,12 +100,14 @@ def measurements(corpus, config, tmp_path_factory):
             ["serial (1 worker)", f"{serial_s:.2f}", f"{serial.apps_per_second:.2f}"],
             [f"parallel ({PARALLEL_WORKERS} workers)", f"{parallel_s:.2f}",
              f"{parallel.apps_per_second:.2f}"],
+            [f"auto ({auto.workers} worker(s){', serial fallback' if auto.serial_fallback else ''})",
+             f"{auto_s:.2f}", f"{auto.apps_per_second:.2f}"],
             ["cold cache", f"{cold_s:.2f}", f"{cold.apps_per_second:.2f}"],
             ["warm cache", f"{warm_s:.2f}", f"{warm.apps_per_second:.2f}"],
         ],
     )
     return {
-        "serial": serial, "parallel": parallel,
+        "serial": serial, "parallel": parallel, "auto": auto,
         "cold": cold, "warm": warm,
         "serial_s": serial_s, "parallel_s": parallel_s,
         "cold_s": cold_s, "warm_s": warm_s,
@@ -109,7 +115,7 @@ def measurements(corpus, config, tmp_path_factory):
 
 
 def test_all_apps_protected(measurements):
-    for run in ("serial", "parallel", "cold", "warm"):
+    for run in ("serial", "parallel", "auto", "cold", "warm"):
         result = measurements[run]
         assert result.ok_count == CORPUS_SIZE, (
             f"{run}: {result.failed_count} failure(s): "
@@ -145,8 +151,24 @@ def test_warm_cache_under_quarter_of_cold(measurements):
     )
 
 
+def test_auto_workers_decision_recorded(measurements):
+    auto = measurements["auto"]
+    expected_workers, expected_fallback = resolve_workers("auto", CORPUS_SIZE)
+    assert auto.workers == expected_workers
+    assert auto.serial_fallback is expected_fallback
+    # Whatever "auto" picked, output bytes match the serial baseline.
+    for auto_out, serial_out in zip(
+        auto.outcomes, measurements["serial"].outcomes
+    ):
+        assert apk_to_bytes(auto_out.result.apk) == apk_to_bytes(
+            serial_out.result.apk
+        )
+
+
 def test_bench_artifact_written(measurements):
     with open(BENCH_OUT, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     assert payload["corpus_apps"] == CORPUS_SIZE
     assert payload["warm_cache_hits"] == CORPUS_SIZE
+    assert "auto_serial_fallback" in payload
+    assert payload["auto_workers_resolved"] >= 1

@@ -56,6 +56,9 @@ FAULT_SITES: Dict[str, Tuple[str, str]] = {
     "wal.append": ("reporting.durability", "WAL record bytes as written"),
     "wal.fsync": ("reporting.durability", "WAL fsync barrier"),
     "snapshot.write": ("reporting.durability", "snapshot payload bytes"),
+    "net.partition": ("reporting.net", "client TCP connection to the ingest service"),
+    "net.slow_link": ("reporting.net", "client link latency (virtual clock skew)"),
+    "net.failover": ("reporting.net", "leader ingest service death mid-stream"),
 }
 
 

@@ -16,9 +16,14 @@
     python -m repro attack    --in protected.apk --attack symbolic
     python -m repro serve-reports --app Game --key-hex <fp> --reports r.jsonl \
                               [--data-dir state/]
+    python -m repro serve-reports --app Game --key-hex <fp> \
+                              --listen 127.0.0.1:7788 --data-dir state/ \
+                              [--replication-listen 127.0.0.1:7789]
+    python -m repro replica   --data-dir replica/ --leader 127.0.0.1:7789 \
+                              [--promote]
     python -m repro recover   --data-dir state/
     python -m repro fleet     --in pirated.apk --original protected.apk \
-                              --devices 1000000
+                              --devices 1000000 [--transport tcp]
     python -m repro chaos     --seed 7 --trials 25 [--verify-replay]
     python -m repro chaos     --crash-restart --seed 11 [--reports 48]
 
@@ -353,8 +358,47 @@ def _cmd_attack(args) -> int:
     return 0 if not result.defeated_defense else 1
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts an int or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _parse_hostport(value: str):
+    """``HOST:PORT`` -> ``(host, port)`` (usage error on anything else)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT with a numeric port, got {value!r}"
+        ) from None
+
+
+class _ShutdownRequested(Exception):
+    """SIGINT/SIGTERM during file ingestion: finish cleanly, exit 0."""
+
+
 def _cmd_serve_reports(args) -> int:
-    """Ingest signed detection reports (JSON lines) through ReportServer."""
+    """Ingest signed detection reports through ReportServer.
+
+    Two sources: ``--reports`` (JSON lines from a file or stdin) or
+    ``--listen HOST:PORT`` (DRPT frames over TCP).  Both finish the same
+    way on SIGINT/SIGTERM: drain the queues, close the WALs behind a
+    final snapshot, print the verdict, exit 0.
+    """
+    import signal
+
     from repro.reporting import ReportServer, TakedownPolicy
 
     if args.key_hex:
@@ -364,6 +408,22 @@ def _cmd_serve_reports(args) -> int:
     else:
         print("error: need --key-hex or --in (the original APK)", file=sys.stderr)
         return EXIT_USAGE
+    if args.reports is None and args.listen is None:
+        print("error: need --reports (JSON lines) or --listen HOST:PORT",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.reports is not None and args.listen is not None:
+        print("error: --reports and --listen are mutually exclusive",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.replication_listen is not None and args.listen is None:
+        print("error: --replication-listen requires --listen", file=sys.stderr)
+        return EXIT_USAGE
+    if args.replication_listen is not None and args.data_dir is None:
+        print("error: --replication-listen requires --data-dir (the WAL is "
+              "the replication log)", file=sys.stderr)
+        return EXIT_USAGE
+
     server = ReportServer(
         shards=args.shards,
         queue_capacity=args.queue_capacity,
@@ -377,30 +437,160 @@ def _cmd_serve_reports(args) -> int:
     if args.app not in server.apps:
         server.register_app(args.app, original_key)
 
-    handle = sys.stdin if args.reports == "-" else open(args.reports, "r")
-    tallies = {}
-    try:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            status = server.submit(line)
-            tallies[status.value] = tallies.get(status.value, 0) + 1
-            if server.queue_depth() >= args.process_every:
-                server.process()
-    finally:
-        if handle is not sys.stdin:
-            handle.close()
-    server.process()
+    conn_stats = []
+    if args.listen is not None:
+        conn_stats = _serve_listen(args, server)
+    else:
+        def _request_shutdown(signum, frame):
+            raise _ShutdownRequested()
 
+        previous = [
+            signal.signal(signum, _request_shutdown)
+            for signum in (signal.SIGINT, signal.SIGTERM)
+        ]
+        handle = sys.stdin if args.reports == "-" else open(args.reports, "r")
+        try:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                server.submit(line)
+                if server.queue_depth() >= args.process_every:
+                    server.process()
+        except _ShutdownRequested:
+            print("interrupted: draining queues, compacting the WAL...",
+                  flush=True)
+        finally:
+            if handle is not sys.stdin:
+                handle.close()
+            for signum, old in zip((signal.SIGINT, signal.SIGTERM), previous):
+                signal.signal(signum, old)
+
+    server.process()
     verdict, offender = server.verdict(args.app)
-    if args.data_dir is not None:
-        server.close()  # compact the WAL into a snapshot on the way out
-    print(f"ingested: " + ", ".join(f"{k}={v}" for k, v in sorted(tallies.items())))
+    # close() compacts the WAL into a final snapshot -- an interrupted
+    # run leaves the same durable state a completed one would.
+    server.close()
+
+    metrics = server.metrics.snapshot()
+    tally_names = {
+        "received": "reporting.received",
+        "accepted": "reporting.accepted",
+        "duplicate": "reporting.duplicates_dropped",
+        "replayed": "reporting.rejected_replayed",
+        "bad-signature": "reporting.rejected_forged",
+        "malformed": "reporting.rejected_malformed",
+        "unknown-app": "reporting.unknown_app",
+        "dropped": "reporting.dropped_backpressure",
+    }
+    tallies = {
+        label: metrics.get(name, 0)
+        for label, name in tally_names.items()
+        if metrics.get(name, 0)
+    }
+    print("ingested: " + (", ".join(
+        f"{k}={v}" for k, v in tallies.items()) or "nothing"))
     print(f"verdict for {args.app}: {verdict.value}"
           + (f" (key {offender})" if offender else ""))
+    if conn_stats:
+        print("\nconnections:")
+        for stats in conn_stats:
+            print(f"  {stats.describe()}")
     print("\nmetrics:")
     print(server.metrics.render())
+    return 0
+
+
+def _serve_listen(args, server):
+    """Run the asyncio ingest service until SIGINT/SIGTERM; returns the
+    per-connection stats (the server is drained but left open)."""
+    import asyncio
+    import signal
+
+    from repro.reporting.net import IngestService
+
+    host, port = args.listen
+    replication = args.replication_listen
+
+    async def _run():
+        service = IngestService(
+            server,
+            host,
+            port,
+            replication_host=replication[0] if replication else None,
+            replication_port=replication[1] if replication else None,
+            process_every=args.process_every,
+        )
+        await service.start()
+        ihost, iport = service.address
+        # Parseable by scripts (CI smoke, tests) that bind port 0.
+        print(f"listening on {ihost}:{iport}", flush=True)
+        if replication is not None:
+            rhost, rport = service.replication_address
+            print(f"replication on {rhost}:{rport}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-posix
+                signal.signal(signum, lambda *_: stop.set())
+        await stop.wait()
+        print("shutting down: draining queues, flushing followers...",
+              flush=True)
+        await service.stop()
+        return service
+
+    service = asyncio.run(_run())
+    return service.conn_stats
+
+
+def _cmd_replica(args) -> int:
+    """Follow a leader's WAL stream; optionally promote on leader exit."""
+    import signal
+
+    from repro.reporting import TakedownPolicy
+    from repro.reporting.net import ReplicaFollower
+
+    follower = ReplicaFollower(
+        args.data_dir, args.leader, expect_shards=args.shards
+    )
+
+    def _request_stop(signum, frame):
+        follower.stop(timeout=0)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _request_stop)
+
+    print(f"following {args.leader[0]}:{args.leader[1]} into {args.data_dir}",
+          flush=True)
+    follower.run()  # blocks until leader EOF or a signal
+    if follower.error is not None:
+        print(f"error: replication failed: {follower.error}", file=sys.stderr)
+        return EXIT_FAILURE
+    print(f"applied: {follower.applied} update(s) "
+          f"({follower.snapshots} snapshot(s)) from the leader", flush=True)
+
+    if not args.promote:
+        return 0
+    if follower.shard_count is None:
+        print("error: never reached the leader; nothing to promote",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    server = follower.promote(
+        shards=args.shards or follower.shard_count,
+        policy=TakedownPolicy(
+            distinct_devices=args.threshold, window_seconds=args.window
+        ),
+    )
+    server.process()
+    replayed = int(server.metrics.counter("wal.replayed").value)
+    print(f"promoted: {len(list(server.apps))} app(s), "
+          f"{replayed} shipped WAL record(s) replayed")
+    for app_name, (verdict, offender) in sorted(server.verdicts().items()):
+        print(f"verdict for {app_name}: {verdict.value}"
+              + (f" (key {offender})" if offender else ""))
+    server.close()
     return 0
 
 
@@ -471,6 +661,7 @@ def _cmd_fleet(args) -> int:
         duplicate_rate=args.duplicate_rate,
         forge_rate=args.forge_rate,
         transport_failure_rate=args.transport_failure_rate,
+        transport=args.transport,
         policy=TakedownPolicy(
             distinct_devices=args.threshold, window_seconds=args.window
         ),
@@ -583,8 +774,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=0,
                        help="config seed; per-app randomness derives from "
                             "this mixed with each app's content digest")
-    batch.add_argument("--workers", type=int, default=1,
-                       help="worker processes (1 = serial)")
+    batch.add_argument("--workers", type=_workers_arg, default=1,
+                       help="worker processes (1 = serial; 'auto' sizes to "
+                            "the host and degrades to serial on 1 cpu)")
     batch.add_argument("--cache-dir", default=None,
                        help="content-addressed artifact cache directory")
     batch.add_argument("--profiling-events", type=int, default=1500)
@@ -660,8 +852,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="the genuine signing key fingerprint")
     serve.add_argument("--in", default=None,
                        help="original APK to read the genuine key from")
-    serve.add_argument("--reports", required=True,
+    serve.add_argument("--reports", default=None,
                        help="JSON-lines report file, or - for stdin")
+    serve.add_argument("--listen", type=_parse_hostport, default=None,
+                       metavar="HOST:PORT",
+                       help="serve DRPT frames over TCP instead of reading "
+                            "--reports (port 0 binds an ephemeral port)")
+    serve.add_argument("--replication-listen", type=_parse_hostport,
+                       default=None, metavar="HOST:PORT",
+                       help="also stream the WAL to replica followers here "
+                            "(requires --listen and --data-dir)")
     serve.add_argument("--shards", type=int, default=8)
     serve.add_argument("--threshold", type=int, default=3,
                        help="distinct devices required for a takedown")
@@ -678,6 +878,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-every", type=int, default=1024,
                        help="WAL appends between snapshot compactions")
     serve.set_defaults(func=_cmd_serve_reports)
+
+    replica = sub.add_parser(
+        "replica",
+        help="follow a serve-reports leader's WAL stream (warm standby)",
+    )
+    replica.add_argument("--data-dir", required=True,
+                         help="directory the shipped WAL + snapshots land in")
+    replica.add_argument("--leader", type=_parse_hostport, required=True,
+                         metavar="HOST:PORT",
+                         help="the leader's --replication-listen address")
+    replica.add_argument("--shards", type=int, default=None,
+                         help="expected leader shard count (default: accept "
+                              "whatever the leader announces)")
+    replica.add_argument("--threshold", type=int, default=3)
+    replica.add_argument("--window", type=float, default=3600.0)
+    replica.add_argument("--promote", action="store_true",
+                         help="when the leader goes away, recover a live "
+                              "server from the followed directory and print "
+                              "its verdicts (failover)")
+    replica.set_defaults(func=_cmd_replica)
 
     recover = sub.add_parser(
         "recover",
@@ -718,6 +938,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--duplicate-rate", type=float, default=0.01)
     fleet.add_argument("--forge-rate", type=float, default=0.0)
     fleet.add_argument("--transport-failure-rate", type=float, default=0.0)
+    fleet.add_argument("--transport", choices=["inproc", "tcp"],
+                       default="inproc",
+                       help="report delivery: in-process calls, or real "
+                            "loopback sockets through the ingest service")
     fleet.set_defaults(func=_cmd_fleet)
 
     chaos = sub.add_parser(

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "INGEST_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -34,6 +35,15 @@ __all__ = [
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
     30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+
+#: Sub-millisecond buckets for loopback ingest latency
+#: (``reporting.net.ingest_seconds``).  DEFAULT_BUCKETS bottom out at
+#: 5ms -- far above a localhost round trip -- and a histogram that
+#: lumps everything into its first bucket cannot answer p50/p99.
+INGEST_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
 )
 
 

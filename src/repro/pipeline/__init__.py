@@ -16,6 +16,7 @@ from repro.pipeline.batch import (
     OutcomeStatus,
     jobs_from_dir,
     protect_batch,
+    resolve_workers,
 )
 from repro.pipeline.cache import (
     ARTIFACT_FORMAT,
@@ -33,6 +34,7 @@ __all__ = [
     "OutcomeStatus",
     "jobs_from_dir",
     "protect_batch",
+    "resolve_workers",
     "ARTIFACT_FORMAT",
     "ArtifactCache",
     "CachedArtifact",

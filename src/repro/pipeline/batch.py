@@ -30,7 +30,7 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.apk.io import apk_from_bytes, apk_to_bytes, load_apk
 from repro.apk.package import ENTRY_DEX, Apk
@@ -104,9 +104,35 @@ def jobs_from_dir(
 class BatchOptions:
     """Driver knobs (the protection knobs live in BombDroidConfig)."""
 
-    workers: int = 1
+    #: Worker processes: an int (1 = serial) or ``"auto"`` -- size the
+    #: pool to the host, degrading to serial when ``os.cpu_count() <= 1``
+    #: (BENCH_protect_batch records a 0.675x ProcessPool *slowdown* on
+    #: 1-core hosts: pickling + process startup with no parallelism to
+    #: pay for it).
+    workers: Union[int, str] = 1
     cache_dir: Optional[str] = None
     strict: bool = False
+
+
+def resolve_workers(
+    workers: Union[int, str], job_count: int
+) -> Tuple[int, bool]:
+    """``(worker_count, auto_serial)`` for a ``BatchOptions.workers``.
+
+    ``auto_serial`` is True only when ``"auto"`` *chose* serial because
+    the host cannot win from fan-out -- that decision is recorded in
+    ``BatchResult.serial_fallback`` and the bench output.
+    """
+    if workers == "auto":
+        cpus = os.cpu_count() or 1
+        if cpus <= 1:
+            return 1, True
+        return min(cpus, max(job_count, 1)), False
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(f"workers must be an int or 'auto', got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers, False
 
 
 # ---------------------------------------------------------------------------
@@ -175,7 +201,7 @@ class BatchResult:
         verif = len(self.by_status(OutcomeStatus.VERIFICATION_FAILED))
         crashed = len(self.by_status(OutcomeStatus.CRASHED))
         mode = f"{self.workers} worker(s)"
-        if self.serial_fallback and self.workers > 1:
+        if self.serial_fallback:
             mode += " (serial fallback)"
         return (
             f"protected {self.ok_count}/{len(self.outcomes)} app(s) "
@@ -288,6 +314,9 @@ def protect_batch(
     options = options or BatchOptions()
     registry = metrics if metrics is not None else MetricsRegistry()
     cache = ArtifactCache(options.cache_dir) if options.cache_dir else None
+    worker_count, auto_serial = resolve_workers(options.workers, len(jobs))
+    if auto_serial:
+        registry.counter("pipeline.serial_fallbacks").inc()
 
     started = time.perf_counter()
     outcomes: List[Optional[AppOutcome]] = [None] * len(jobs)
@@ -323,15 +352,15 @@ def protect_batch(
         (job.name, job.apk_bytes, job.developer_key, config, options.strict)
         for _, job, _ in pending
     ]
-    serial_fallback = False
-    use_pool = options.workers > 1 and bool(tasks)
+    serial_fallback = auto_serial
+    use_pool = worker_count > 1 and bool(tasks)
     if use_pool and not all(_poolable(task) for task in tasks):
         use_pool = False
         serial_fallback = True
         registry.counter("pipeline.serial_fallbacks").inc()
 
     if use_pool:
-        with ProcessPoolExecutor(max_workers=options.workers) as pool:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
             futures = [pool.submit(_protect_worker, task) for task in tasks]
             payloads = []
             for future, task in zip(futures, tasks):
@@ -361,7 +390,7 @@ def protect_batch(
 
     # -- accounting -----------------------------------------------------------
     elapsed = time.perf_counter() - started
-    registry.gauge("pipeline.workers").set(options.workers)
+    registry.gauge("pipeline.workers").set(worker_count)
     latency = registry.histogram("pipeline.protect_seconds", _LATENCY_BUCKETS)
     for outcome in outcomes:
         registry.counter("pipeline.apps").inc()
@@ -377,7 +406,7 @@ def protect_batch(
     return BatchResult(
         outcomes=[o for o in outcomes if o is not None],
         elapsed=elapsed,
-        workers=options.workers,
+        workers=worker_count,
         serial_fallback=serial_fallback,
         metrics=registry.snapshot(),
     )

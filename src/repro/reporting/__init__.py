@@ -17,7 +17,12 @@ signing key back to the developer and the market acts (Sections 1,
              ``ReportServer.recover(data_dir)`` rebuilds verdict state
              after a crash (torn-tail and bit-flip tolerant replay)
 ``fleet``    million-device load driver in O(shards) memory, calibrated
-             from real interpreter play sessions
+             from real interpreter play sessions (in-process or over
+             real TCP sockets via ``transport="tcp"``)
+``net``      the networked face: asyncio TCP ingest service speaking
+             the DRPT frames over sockets, device-side ``TcpTransport``,
+             and leader->follower replication by WAL shipping with
+             snapshot+replay failover
 Metrics (counters / gauges / fixed-bucket histograms) live in the
 repo-wide :mod:`repro.metrics`; the old ``repro.reporting.metrics``
 path survives as a deprecated re-export.
@@ -47,6 +52,16 @@ from repro.reporting.wire import (
     sign_report,
 )
 
+# After the server/durability imports above: the net package layers on
+# top of them (service wraps server, replication ships durability's WAL).
+from repro.reporting.net import (
+    FrameReader,
+    IngestService,
+    ReplicaFollower,
+    ServiceHandle,
+    TcpTransport,
+)
+
 __all__ = [
     "AggregatedVerdict",
     "Counter",
@@ -54,13 +69,18 @@ __all__ = [
     "DurabilityLog",
     "FleetConfig",
     "FleetResult",
+    "FrameReader",
     "Gauge",
     "Histogram",
+    "IngestService",
     "MetricsRegistry",
     "OutcomeModel",
+    "ReplicaFollower",
     "ReportClient",
     "ReportServer",
+    "ServiceHandle",
     "SignedReport",
+    "TcpTransport",
     "SubmitStatus",
     "TakedownPolicy",
     "Transport",

@@ -307,12 +307,14 @@ class _WalFile:
         self.path = path
         self._handle = open(path, "ab", buffering=0)
 
-    def append(self, payload: bytes) -> None:
+    def append(self, payload: bytes) -> bytes:
         record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         # The fault point may corrupt the record as written (bit rot on
-        # the way to flash) or raise (write failure).
-        record = fault_point("wal.append", record)
-        self._handle.write(record)
+        # the way to flash) or raise (write failure).  The *clean* record
+        # is returned for observers (replication ships what the server
+        # journaled, not what local bit rot mangled).
+        self._handle.write(fault_point("wal.append", record))
+        return record
 
     def sync(self) -> None:
         fault_point("wal.fsync")
@@ -354,6 +356,17 @@ class DurabilityLog:
         self._appends_since_snapshot = 0
         self._meta: Optional[_WalFile] = None
         self._shards: List[Optional[_WalFile]] = [None] * shard_count
+        self._observers: List = []
+
+    def add_observer(self, observer) -> None:
+        """Subscribe to durable events (the WAL is the replication log).
+
+        ``observer(event, index, payload)`` fires *after* the bytes are
+        durable: ``("record", shard_index_or_-1_for_meta, record)`` for
+        every successful append, ``("snapshot", -1, file_image)`` after
+        every successful compaction.
+        """
+        self._observers.append(observer)
 
     # -- paths --------------------------------------------------------------
 
@@ -392,21 +405,27 @@ class DurabilityLog:
         trusted: bool = False,
     ) -> bool:
         wal = self._shards[shard_index]
-        return self._append(wal, encode_report_record(app_name, report, trusted))
+        return self._append(
+            wal, encode_report_record(app_name, report, trusted), shard_index
+        )
 
     def append_takedown(self, app_name: str, key_hex: str, ts: float) -> bool:
-        return self._append(self._meta, encode_takedown_record(app_name, key_hex, ts))
+        return self._append(
+            self._meta, encode_takedown_record(app_name, key_hex, ts), -1
+        )
 
     def append_register(self, app_name: str, original_key_hex: str) -> bool:
         return self._append(
-            self._meta, encode_register_record(app_name, original_key_hex)
+            self._meta, encode_register_record(app_name, original_key_hex), -1
         )
 
-    def _append(self, wal: Optional[_WalFile], payload: bytes) -> bool:
+    def _append(
+        self, wal: Optional[_WalFile], payload: bytes, index: int = -1
+    ) -> bool:
         if wal is None:
             raise DurabilityError("durability log is not open")
         try:
-            wal.append(payload)
+            record = wal.append(payload)
             if self.fsync:
                 wal.sync()
         except (OSError, ReproError):
@@ -414,6 +433,8 @@ class DurabilityLog:
             return False
         self.metrics.counter("wal.appends").inc()
         self._appends_since_snapshot += 1
+        for observer in self._observers:
+            observer("record", index, record)
         return True
 
     # -- compaction ---------------------------------------------------------
@@ -458,6 +479,11 @@ class DurabilityLog:
                 wal.truncate()
         self._appends_since_snapshot = 0
         self.metrics.counter("snapshot.compactions").inc()
+        # Followers mirror the compaction: a full snapshot file image
+        # supersedes (and truncates) their shipped WALs.
+        image = SNAPSHOT_MAGIC + payload + struct.pack(">I", crc)
+        for observer in self._observers:
+            observer("snapshot", -1, image)
         return True
 
     # -- recovery -----------------------------------------------------------

@@ -138,6 +138,12 @@ class FleetConfig:
     snapshot_every: int = 1024        # appends between snapshot compactions
     crash_after_batch: Optional[int] = None  # kill + recover after this batch
                                              # (requires data_dir)
+    transport: str = "inproc"         # "inproc" | "tcp" (real loopback sockets)
+    replica_dir: Optional[str] = None  # follow the leader's WAL here (tcp +
+                                       # data_dir; enables failover)
+    failover_after_batch: Optional[int] = None  # kill the leader service at
+                                                # this batch boundary and
+                                                # promote the follower
 
 
 @dataclass
@@ -232,10 +238,37 @@ def run_fleet(
     ``config.crash_after_batch`` kills it at that batch boundary and
     recovers from disk mid-run (the chaos crash-restart model at fleet
     scale).
+
+    ``config.transport="tcp"`` serves the same server over a real
+    loopback socket (:class:`~repro.reporting.net.ServiceHandle`) and
+    gives every client a :class:`~repro.reporting.net.TcpTransport`;
+    with ``replica_dir`` a WAL-shipping follower trails the leader, and
+    ``failover_after_batch`` kills the leader service mid-run and
+    promotes the follower -- the networked analogue of
+    ``crash_after_batch``.
     """
+    tcp = config.transport == "tcp"
+    if config.transport not in ("inproc", "tcp"):
+        raise ReportingError(
+            f"unknown fleet transport {config.transport!r} "
+            "(expected 'inproc' or 'tcp')"
+        )
     if config.crash_after_batch is not None and config.data_dir is None:
         raise ReportingError("crash_after_batch requires data_dir")
+    if tcp and config.crash_after_batch is not None:
+        raise ReportingError(
+            "crash_after_batch is the in-process fault; over tcp use "
+            "failover_after_batch"
+        )
+    if config.replica_dir is not None and not (tcp and config.data_dir):
+        raise ReportingError("replica_dir requires transport='tcp' and data_dir")
+    if config.failover_after_batch is not None and config.replica_dir is None:
+        raise ReportingError(
+            "failover_after_batch requires replica_dir (a follower to promote)"
+        )
     owns_server = server is None
+    if config.failover_after_batch is not None and not owns_server:
+        raise ReportingError("failover_after_batch requires a fleet-owned server")
     if server is None:
         server = ReportServer(
             shards=config.shards, policy=config.policy,
@@ -244,23 +277,66 @@ def run_fleet(
     if app_name not in server.apps:
         server.register_app(app_name, original_key_hex)
 
+    net_handle = None
+    follower = None
+    endpoint = {"addr": None}  # mutable: failover re-points every client
+    if tcp:
+        from repro.reporting.net import ReplicaFollower, ServiceHandle, TcpTransport
+
+        net_handle = ServiceHandle.start(
+            server,
+            replication_port=0 if config.replica_dir is not None else None,
+        )
+        endpoint["addr"] = net_handle.address
+        if config.replica_dir is not None:
+            follower = ReplicaFollower(
+                config.replica_dir,
+                net_handle.replication_address,
+                expect_shards=server.shard_count,
+            ).start()
+            # Wait for the bootstrap snapshot so an early leader kill
+            # still promotes a directory that knows the app.
+            if not follower.wait_applied(1):
+                raise ReportingError("replica follower never bootstrapped")
+
     rng = random.Random(config.seed)
     keys = [
         RSAKeyPair.generate(seed=config.seed * 1000 + 17 + i)
         for i in range(max(1, config.attestation_pool))
     ]
 
-    def transport(signed: SignedReport):
-        if (
-            config.transport_failure_rate
-            and rng.random() < config.transport_failure_rate
-        ):
-            raise TransportError("fleet uplink unavailable")
-        return server.submit(signed)
+    def on_server(fn):
+        """Run ``fn(server)`` wherever the server lives right now --
+        directly in-process, or on the service loop over tcp."""
+        if net_handle is not None:
+            return net_handle.call(fn)
+        return fn(server)
+
+    def make_transport(send):
+        def transport(signed: SignedReport):
+            if (
+                config.transport_failure_rate
+                and rng.random() < config.transport_failure_rate
+            ):
+                raise TransportError("fleet uplink unavailable")
+            return send(signed)
+        return transport
+
+    if tcp:
+        tcp_transports = [
+            TcpTransport(lambda: endpoint["addr"])
+            for _ in range(max(1, config.attestation_pool))
+        ]
+        transports = [make_transport(sender) for sender in tcp_transports]
+    else:
+        transports = [
+            make_transport(lambda signed: server.submit(signed))
+            for _ in range(max(1, config.attestation_pool))
+        ]
 
     clients = [
         ReportClient(
-            transport,
+            transports[i],
             key,
             device_id=f"attestation-batch-{i}",
             seed=config.seed * 7919 + i,
@@ -316,11 +392,11 @@ def run_fleet(
             if stale_report is None:
                 stale_report = signed
             if config.duplicate_rate and brng.random() < config.duplicate_rate:
-                dup = server.submit(signed)
+                dup = on_server(lambda s: s.submit(signed))
                 statuses[dup.value] = statuses.get(dup.value, 0) + 1
             if config.forge_rate and brng.random() < config.forge_rate:
                 forged = replace(signed, signature=signed.signature ^ 1)
-                bad = server.submit(forged)
+                bad = on_server(lambda s: s.submit(forged))
                 statuses[bad.value] = statuses.get(bad.value, 0) + 1
 
         if (
@@ -328,10 +404,10 @@ def run_fleet(
             and stale_report is not None
             and fleet_clock - stale_report.report.timestamp > server.max_report_age
         ):
-            replayed = server.submit(stale_report)
+            replayed = on_server(lambda s: s.submit(stale_report))
             statuses[replayed.value] = statuses.get(replayed.value, 0) + 1
 
-        server.process()
+        on_server(lambda s: s.process())
         for client in clients:
             if client.spooled:
                 client.flush()
@@ -348,9 +424,30 @@ def run_fleet(
                 market.rate_batch(listing, 5, good_count)
 
         fleet_clock += config.batch_seconds
-        tracked = server.tracked_state_size()
+        tracked = on_server(lambda s: s.tracked_state_size())
         if tracked > peak_tracked:
             peak_tracked = tracked
+
+        if tcp and batches == config.failover_after_batch and follower is not None:
+            # The networked crash model: the leader *service* dies with
+            # no drain (connections break, the replication stream hits
+            # EOF mid-flight), and the follower's directory -- bootstrap
+            # snapshot + every shipped WAL record -- is promoted through
+            # the same snapshot+replay path a local crash uses.
+            net_handle.kill()
+            server.crash()
+            server = follower.promote(
+                shards=config.shards, policy=config.policy,
+                snapshot_every=config.snapshot_every,
+            )
+            follower = None
+            if app_name not in server.apps:
+                server.register_app(app_name, original_key_hex)
+            recoveries += 1
+            wal_replayed += server.metrics.counter("wal.replayed").value
+            server.process()
+            net_handle = ServiceHandle.start(server)
+            endpoint["addr"] = net_handle.address
 
         if batches == config.crash_after_batch:
             # Kill-and-recover at the batch boundary: drop the server
@@ -367,13 +464,22 @@ def run_fleet(
             wal_replayed += server.metrics.counter("wal.replayed").value
             server.process()
 
-        verdict, offender = server.verdict(app_name)
+        verdict, offender = on_server(lambda s: s.verdict(app_name))
         if verdict is AggregatedVerdict.TAKEDOWN and takedown_clock is None:
             takedown_clock = fleet_clock
             if market is not None:
-                market.process_server_takedowns(server)
+                on_server(lambda s: market.process_server_takedowns(s))
             if config.stop_on_takedown:
                 break
+
+    if net_handle is not None:
+        net_handle.stop()
+        net_handle = None
+    if follower is not None:
+        follower.stop()
+    if tcp:
+        for tcp_transport in tcp_transports:
+            tcp_transport.close()
 
     wall = time.monotonic() - started
     metrics = server.metrics

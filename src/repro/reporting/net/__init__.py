@@ -1,0 +1,56 @@
+"""Networked report ingestion: TCP service, replication, transport.
+
+The socket-facing layer over the in-process
+:class:`~repro.reporting.server.ReportServer`:
+
+* :mod:`~repro.reporting.net.framing` -- incremental DRPT frame
+  slicing, per-frame status bytes, replication message codec.
+* :mod:`~repro.reporting.net.service` -- the asyncio ingest service
+  (:class:`IngestService`) and its daemon-thread host
+  (:class:`ServiceHandle`).
+* :mod:`~repro.reporting.net.replication` -- leader->follower WAL
+  shipping (:class:`ReplicaFollower`) and failover by promotion.
+* :mod:`~repro.reporting.net.transport` -- the device-side
+  :class:`TcpTransport` plugged into ``ReportClient``.
+"""
+
+from repro.reporting.net.framing import (
+    META_WAL,
+    MSG_ACK,
+    MSG_HELLO,
+    MSG_RECORD,
+    MSG_SNAPSHOT,
+    FrameReader,
+    MessageReader,
+    decode_status,
+    encode_message,
+    encode_status,
+)
+from repro.reporting.net.replication import ReplicaFollower, snapshot_file_bytes
+from repro.reporting.net.service import (
+    INGEST_BUCKETS,
+    ConnStats,
+    IngestService,
+    ServiceHandle,
+)
+from repro.reporting.net.transport import TcpTransport
+
+__all__ = [
+    "META_WAL",
+    "MSG_ACK",
+    "MSG_HELLO",
+    "MSG_RECORD",
+    "MSG_SNAPSHOT",
+    "FrameReader",
+    "MessageReader",
+    "decode_status",
+    "encode_message",
+    "encode_status",
+    "ReplicaFollower",
+    "snapshot_file_bytes",
+    "INGEST_BUCKETS",
+    "ConnStats",
+    "IngestService",
+    "ServiceHandle",
+    "TcpTransport",
+]

@@ -1,0 +1,221 @@
+"""Incremental codecs for the TCP ingestion and replication streams.
+
+TCP is a byte stream: one ``read()`` may return half a DRPT frame, three
+frames and a torn fourth, or a single byte.  The ingestion acceptor
+therefore never calls :func:`repro.reporting.wire.decode_report` on raw
+socket data -- it feeds everything through a :class:`FrameReader`,
+which exploits the DRPT framing's self-delimiting layout::
+
+    DRPT | >I body_len | body | >H key_len | key | >H sig_len | sig
+
+to slice complete frames out of an internal buffer and keep partial
+tails pending.  The reader is *tolerant* of arbitrary chunking (the
+property tests feed it byte-at-a-time and split-at-every-offset) but
+*intolerant* of desynchronization: a buffer that does not start with
+the magic, or a declared length past ``max_frame``, raises
+:class:`~repro.errors.WireError` -- the connection is garbage and the
+acceptor closes it rather than scanning for a resync point.
+
+Two smaller codecs share the module:
+
+* **Status bytes.**  The service answers one byte per frame so the
+  device-side :class:`~repro.reporting.client.ReportClient` semantics
+  (retry on transport error, interpret the server's verdict) carry over
+  a socket unchanged.  The mapping is explicit and frozen -- wire
+  compatibility, not enum ordering.
+* **Replication messages.**  Leader -> follower WAL shipping uses a
+  trivial ``type | >I len | payload`` framing (:func:`encode_message` /
+  :class:`MessageReader`): HELLO (shard count), SNAPSHOT (a full
+  snapshot file image), RECORD (one crc32-framed WAL record tagged with
+  its shard), and ACK (follower's cumulative applied count, sent after
+  fsync).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import WireError
+from repro.reporting.server import SubmitStatus
+from repro.reporting.wire import WIRE_MAGIC
+
+#: magic(4) + >I body_len
+_PREFIX_LEN = 8
+
+#: Upper bound on one frame; a 512-bit attestation key plus a report
+#: body is well under 1 KiB, so anything near this is garbage lengths.
+DEFAULT_MAX_FRAME = 1 << 20
+
+
+class FrameReader:
+    """Incremental DRPT frame slicer over an arbitrary byte stream.
+
+    ``feed(data)`` buffers ``data`` and returns every *complete* frame
+    (as raw bytes, ready for ``decode_report`` or ``server.submit``);
+    a torn final frame stays pending until the rest arrives.
+    """
+
+    __slots__ = ("_buffer", "max_frame", "frames")
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self._buffer = bytearray()
+        self.max_frame = max_frame
+        self.frames = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered but not yet sliced into a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Buffer ``data``; return the complete frames it completes."""
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        while True:
+            total = self._frame_length()
+            if total is None or len(self._buffer) < total:
+                return frames
+            frames.append(bytes(self._buffer[:total]))
+            del self._buffer[:total]
+            self.frames += 1
+
+    def _frame_length(self) -> "int | None":
+        """Total length of the buffered frame, or None while torn.
+
+        Raises :class:`WireError` on a magic mismatch or an absurd
+        declared length -- the stream is desynchronized, not torn.
+        """
+        buf = self._buffer
+        if len(buf) < 4:
+            if buf and not WIRE_MAGIC.startswith(bytes(buf)):
+                raise WireError("desynchronized report stream (bad magic)")
+            return None
+        if bytes(buf[:4]) != WIRE_MAGIC:
+            raise WireError("desynchronized report stream (bad magic)")
+        if len(buf) < _PREFIX_LEN:
+            return None
+        (body_len,) = struct.unpack_from(">I", buf, 4)
+        if _PREFIX_LEN + body_len > self.max_frame:
+            raise WireError(
+                f"report frame body of {body_len} bytes exceeds the "
+                f"{self.max_frame}-byte frame cap"
+            )
+        offset = _PREFIX_LEN + body_len
+        if len(buf) < offset + 2:
+            return None
+        (key_len,) = struct.unpack_from(">H", buf, offset)
+        offset += 2 + key_len
+        if len(buf) < offset + 2:
+            return None
+        (sig_len,) = struct.unpack_from(">H", buf, offset)
+        total = offset + 2 + sig_len
+        if total > self.max_frame:
+            raise WireError(
+                f"report frame of {total} bytes exceeds the "
+                f"{self.max_frame}-byte frame cap"
+            )
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Per-frame status bytes
+# ---------------------------------------------------------------------------
+
+#: Frozen wire values -- never renumber (clients in the field decode
+#: these), and never derive them from enum iteration order.
+_STATUS_TO_BYTE = {
+    SubmitStatus.ACCEPTED: 0x01,
+    SubmitStatus.DUPLICATE: 0x02,
+    SubmitStatus.REPLAYED: 0x03,
+    SubmitStatus.BAD_SIGNATURE: 0x04,
+    SubmitStatus.MALFORMED: 0x05,
+    SubmitStatus.UNKNOWN_APP: 0x06,
+    SubmitStatus.DROPPED: 0x07,
+}
+_BYTE_TO_STATUS = {value: status for status, value in _STATUS_TO_BYTE.items()}
+
+
+def encode_status(status: SubmitStatus) -> bytes:
+    """One status byte per ingested frame (server -> client)."""
+    try:
+        return bytes((_STATUS_TO_BYTE[status],))
+    except KeyError:
+        raise WireError(f"unmapped submit status {status!r}") from None
+
+
+def decode_status(value: int) -> SubmitStatus:
+    """Inverse of :func:`encode_status`; raises :class:`WireError`."""
+    try:
+        return _BYTE_TO_STATUS[value]
+    except KeyError:
+        raise WireError(f"unknown status byte 0x{value:02x}") from None
+
+
+# ---------------------------------------------------------------------------
+# Replication messages (leader <-> follower)
+# ---------------------------------------------------------------------------
+
+#: Leader -> follower: ``>B shard_count``.  Always the first message.
+MSG_HELLO = b"H"
+#: Leader -> follower: a full snapshot file image (magic+payload+crc).
+#: Sent once at connect (bootstrap) and after every leader compaction.
+MSG_SNAPSHOT = b"S"
+#: Leader -> follower: ``>B wal_index | crc32-framed record bytes``.
+#: ``wal_index`` 0xFF addresses the meta WAL, else the shard WAL.
+MSG_RECORD = b"R"
+#: Follower -> leader: ``>Q cumulative_applied`` after a local fsync.
+MSG_ACK = b"A"
+
+#: ``wal_index`` byte addressing the meta WAL in a RECORD message.
+META_WAL = 0xFF
+
+_MSG_KINDS = (MSG_HELLO, MSG_SNAPSHOT, MSG_RECORD, MSG_ACK)
+
+#: Snapshot images dominate; records are small.  Same garbage-length
+#: guard rationale as the frame cap, just sized for snapshots.
+DEFAULT_MAX_MESSAGE = 1 << 28
+
+
+def encode_message(kind: bytes, payload: bytes) -> bytes:
+    """``type | >I len | payload`` replication framing."""
+    if kind not in _MSG_KINDS:
+        raise WireError(f"unknown replication message kind {kind!r}")
+    return kind + struct.pack(">I", len(payload)) + payload
+
+
+class MessageReader:
+    """Incremental replication-message slicer (same contract as
+    :class:`FrameReader`, for the leader<->follower stream)."""
+
+    __slots__ = ("_buffer", "max_message")
+
+    def __init__(self, max_message: int = DEFAULT_MAX_MESSAGE) -> None:
+        self._buffer = bytearray()
+        self.max_message = max_message
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Tuple[bytes, bytes]]:
+        """Buffer ``data``; return complete ``(kind, payload)`` pairs."""
+        self._buffer.extend(data)
+        messages: List[Tuple[bytes, bytes]] = []
+        while len(self._buffer) >= 5:
+            kind = bytes(self._buffer[:1])
+            if kind not in _MSG_KINDS:
+                raise WireError(
+                    f"desynchronized replication stream (kind {kind!r})"
+                )
+            (length,) = struct.unpack_from(">I", self._buffer, 1)
+            if length > self.max_message:
+                raise WireError(
+                    f"replication message of {length} bytes exceeds the "
+                    f"{self.max_message}-byte cap"
+                )
+            if len(self._buffer) < 5 + length:
+                break
+            messages.append((kind, bytes(self._buffer[5 : 5 + length])))
+            del self._buffer[: 5 + length]
+        return messages

@@ -1,0 +1,141 @@
+"""Device-side TCP transport for :class:`~repro.reporting.client.ReportClient`.
+
+A ``ReportClient`` takes any callable ``transport(signed) -> SubmitStatus``
+and handles retry/backoff/spooling when it raises
+:class:`~repro.errors.TransportError`.  :class:`TcpTransport` is that
+callable over a real socket: encode the report as one DRPT frame, send
+it, read back the one status byte the service answers per frame.  Every
+network failure -- refused connect, reset, EOF mid-read, a chaos-armed
+``net.partition`` -- collapses into ``TransportError``, so the client's
+retry semantics carry over a socket unchanged.
+
+The endpoint may be a callable returning ``(host, port)`` so a fleet
+can re-point thousands of logical clients at a promoted follower by
+rebinding one cell; the transport drops its cached connection whenever
+a send fails and redials the *current* endpoint on the next attempt.
+
+Chaos integration: ``net.partition`` (raise mode) severs the link
+before the frame leaves, ``net.slow_link`` (latency mode) advances the
+transport's virtual link clock -- the fleet charges that skew to the
+device's report timestamps rather than sleeping, keeping chaotic runs
+replayable from their seed.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.chaos.faults import fault_point
+from repro.errors import FaultInjected, TransportError, WireError
+from repro.reporting.net.framing import decode_status
+from repro.reporting.server import SubmitStatus
+from repro.reporting.wire import SignedReport, encode_report
+
+Endpoint = Union[Tuple[str, int], Callable[[], Tuple[str, int]]]
+
+
+class _LinkClock:
+    """Accumulates ``net.slow_link`` skew (the latency-mode ``device``)."""
+
+    __slots__ = ("skew",)
+
+    def __init__(self) -> None:
+        self.skew = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.skew += seconds
+
+
+class TcpTransport:
+    """One persistent client connection to the ingest service."""
+
+    def __init__(self, endpoint: Endpoint, *, timeout: float = 10.0) -> None:
+        self._endpoint = endpoint
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._link = _LinkClock()
+        #: Severed-link count (``net.partition`` fires).
+        self.partitions = 0
+
+    @property
+    def delay_injected(self) -> float:
+        """Total virtual seconds of ``net.slow_link`` skew injected."""
+        return self._link.skew
+
+    def endpoint(self) -> Tuple[str, int]:
+        target = self._endpoint
+        return target() if callable(target) else target
+
+    def __call__(self, signed: SignedReport) -> SubmitStatus:
+        try:
+            fault_point("net.partition")
+        except FaultInjected:
+            self.close()
+            self.partitions += 1
+            raise TransportError("link partitioned") from None
+        fault_point("net.slow_link", device=self._link)
+        frame = encode_report(signed)
+        try:
+            return self._send_frame(frame)
+        except OSError as exc:
+            self.close()
+            raise TransportError(f"report transport failed: {exc}") from exc
+
+    def _send_frame(self, frame: bytes) -> SubmitStatus:
+        sock = self._connect()
+        sock.sendall(frame)
+        status = self._recv_status(sock)
+        if status is None:
+            # EOF instead of a status byte: server died under us.
+            self.close()
+            raise TransportError("server closed the connection mid-report")
+        return status
+
+    def send_many(self, frames: List[bytes]) -> List[SubmitStatus]:
+        """Pipeline many frames in one write; statuses come back in order.
+
+        The bench uses this to measure service-side throughput without
+        a per-frame client round trip.
+        """
+        if not frames:
+            return []
+        try:
+            sock = self._connect()
+            sock.sendall(b"".join(frames))
+            statuses: List[SubmitStatus] = []
+            for _ in frames:
+                status = self._recv_status(sock)
+                if status is None:
+                    self.close()
+                    raise TransportError("server closed mid-pipeline")
+                statuses.append(status)
+            return statuses
+        except OSError as exc:
+            self.close()
+            raise TransportError(f"pipelined transport failed: {exc}") from exc
+
+    def _recv_status(self, sock: socket.socket) -> Optional[SubmitStatus]:
+        data = sock.recv(1)
+        if not data:
+            return None
+        try:
+            return decode_status(data[0])
+        except WireError as exc:
+            self.close()
+            raise TransportError(str(exc)) from exc
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self.endpoint(), timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass

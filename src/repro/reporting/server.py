@@ -385,6 +385,10 @@ class ReportServer:
         # zlib.crc32 is stable across processes (str hash is salted).
         return zlib.crc32(device_id.encode("utf-8")) % self.shard_count
 
+    def shard_for(self, device_id: str) -> int:
+        """The shard owning ``device_id`` (the TCP acceptor routes by it)."""
+        return self._shard_index(device_id)
+
     # -- processing ---------------------------------------------------------
 
     def process(self, limit: Optional[int] = None) -> int:

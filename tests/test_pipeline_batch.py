@@ -366,3 +366,59 @@ class TestMetricsShim:
         from repro.metrics import MetricsRegistry
 
         assert shim.MetricsRegistry is MetricsRegistry
+
+
+class TestAutoWorkers:
+    def test_auto_on_single_core_degrades_to_serial(
+        self, corpus_jobs, batch_config, serial_batch, monkeypatch
+    ):
+        import repro.pipeline.batch as batch_mod
+
+        monkeypatch.setattr(batch_mod.os, "cpu_count", lambda: 1)
+        result = protect_batch(
+            corpus_jobs, batch_config, BatchOptions(workers="auto")
+        )
+        assert result.workers == 1
+        assert result.serial_fallback is True
+        assert "(serial fallback)" in result.summary()
+        assert result.metrics["pipeline.serial_fallbacks"] == 1
+        # The decision changes scheduling only, never output bytes.
+        for auto_out, serial_out in zip(result.outcomes, serial_batch.outcomes):
+            assert apk_to_bytes(auto_out.result.apk) == apk_to_bytes(
+                serial_out.result.apk
+            )
+
+    def test_auto_on_multi_core_caps_at_job_count(self, monkeypatch):
+        import repro.pipeline.batch as batch_mod
+
+        from repro.pipeline import resolve_workers
+
+        monkeypatch.setattr(batch_mod.os, "cpu_count", lambda: 8)
+        assert resolve_workers("auto", 2) == (2, False)
+        assert resolve_workers("auto", 100) == (8, False)
+        assert resolve_workers("auto", 0) == (1, False)
+
+    def test_auto_none_cpu_count_is_serial(self, monkeypatch):
+        import repro.pipeline.batch as batch_mod
+
+        from repro.pipeline import resolve_workers
+
+        monkeypatch.setattr(batch_mod.os, "cpu_count", lambda: None)
+        assert resolve_workers("auto", 4) == (1, True)
+
+    def test_explicit_workers_validated(self):
+        from repro.pipeline import resolve_workers
+
+        assert resolve_workers(3, 10) == (3, False)
+        with pytest.raises(ValueError, match="int or 'auto'"):
+            resolve_workers("turbo", 4)
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_workers(0, 4)
+        with pytest.raises(ValueError, match="int or 'auto'"):
+            resolve_workers(True, 4)
+
+    def test_cli_accepts_auto(self, corpus_jobs, batch_config, tmp_path, capsys):
+        from repro.cli import _workers_arg
+
+        assert _workers_arg("auto") == "auto"
+        assert _workers_arg("4") == 4
