@@ -10,6 +10,8 @@ from conftest import print_table
 
 from repro import BombDroid, BombDroidConfig
 from repro.attacks import (
+    EXTENDED_SIGNATURE,
+    AdaptiveStripperAttack,
     DeletionAttack,
     ForcedExecutionAttack,
     InstrumentationAttack,
@@ -17,6 +19,7 @@ from repro.attacks import (
     StaticTriggerDetector,
     SymbolicAttack,
     TextSearchAttack,
+    VTableHijackAttack,
 )
 from repro.core import SSNConfig, SSNProtector
 from repro.core.naive import NaiveProtector
@@ -114,3 +117,63 @@ def test_resilience_matrix(benchmark, attacker_key):
     assert details["hash_walls"] > 0
     assert details["ssn_leaked_key"]
     assert details["deletion_corrupts_bombdroid"]
+
+
+def test_meshed_rows(benchmark, attacker_key):
+    """The mesh PR's extension of the matrix: a meshed protection
+    resists deletion at every signature tier, text search, and hooking.
+    No single-pattern strip removes detection without corrupting the
+    app, and the learned multi-pattern stripper only 'wins' by breaking
+    the repackage."""
+    from repro.core.config import DetectionMethod
+
+    bundle = build_named_app("SWJournal", scale=0.5)
+    meshed = BombDroid(
+        BombDroidConfig(
+            seed=8,
+            profiling_events=600,
+            mesh=True,
+            detection_methods=(
+                DetectionMethod.PUBLIC_KEY,
+                DetectionMethod.CODE_DIGEST,
+                DetectionMethod.CODE_SCAN,
+            ),
+        )
+    ).protect(bundle.apk, bundle.developer_key)
+
+    rows = []
+    results = {}
+
+    def run():
+        results["classic"] = DeletionAttack(
+            differential_events=400, seed=9
+        ).run(meshed.apk, attacker_key, original=bundle.apk)
+        results["extended"] = DeletionAttack(
+            differential_events=400, seed=9, signature=EXTENDED_SIGNATURE
+        ).run(meshed.apk, attacker_key, original=bundle.apk)
+        results["adaptive"] = AdaptiveStripperAttack(
+            differential_events=400, seed=9
+        ).run(meshed.apk, attacker_key, original=bundle.apk)
+        results["text"] = TextSearchAttack().run(meshed.apk)
+        results["hooking"] = VTableHijackAttack(
+            seed=5, sessions=5, events=500
+        ).run(meshed.apk, meshed.report)
+        for name, result in results.items():
+            rows.append((name, _verdict(result)))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Meshed BombDroid vs the attack tiers", ["attack", "meshed"], rows
+    )
+
+    assert all(not result.defeated_defense for result in results.values())
+    # Win condition per tier: a strip leaves live bombs or corrupts.
+    for tier in ("classic", "extended"):
+        outcome = results[tier]
+        assert outcome.details["live_sites"] > 0 or outcome.app_corrupted
+    assert results["adaptive"].app_corrupted
+    # The hijack's hot-method edit is caught even under a perfect
+    # identity spoof -- by a scan bomb or a mesh content pin.
+    hooking = results["hooking"].details
+    assert hooking["mesh_trips"] > 0 or hooking["code_scan_caught_it"]

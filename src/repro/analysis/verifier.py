@@ -36,6 +36,12 @@ Errors found here are exactly the bugs that would surface at user
 devices as crashes (or as detectable anomalies for an adversary), which
 is why :meth:`repro.core.bombdroid.BombDroid.protect` can gate on them
 in strict mode.
+
+The pass is deliberately *shape-agnostic*: it verifies dataflow and
+structure, not invoke spellings, so the mesh planner's morphed bomb
+prologues (operand swaps, split compares, decoy compares, per-app alias
+symbols -- :mod:`repro.core.mesh`) verify exactly like the classic
+Listing-3 shape.  Only genuinely broken surgery fails the gate.
 """
 
 from __future__ import annotations

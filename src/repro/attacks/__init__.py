@@ -23,9 +23,18 @@ BombDroid-protected apps and the SSN baseline:
 """
 
 from repro.attacks.base import AttackResult
-from repro.attacks.text_search import TextSearchAttack, SUSPICIOUS_PATTERNS
+from repro.attacks.signatures import (
+    CLASSIC_SIGNATURE,
+    EXTENDED_SIGNATURE,
+    PrologueSignature,
+    SUSPICIOUS_PATTERNS,
+    count_live_anchors,
+    strip_learned,
+    strip_with_signature,
+)
+from repro.attacks.text_search import TextSearchAttack
 from repro.attacks.brute_force import BruteForceAttack, CrackOutcome, classify_strength_cost
-from repro.attacks.deletion import DeletionAttack
+from repro.attacks.deletion import AdaptiveStripperAttack, DeletionAttack
 from repro.attacks.instrumentation import InstrumentationAttack
 from repro.attacks.forced_execution import ForcedExecutionAttack
 from repro.attacks.slicing_attack import SlicingAttack
@@ -43,6 +52,13 @@ __all__ = [
     "CrackOutcome",
     "classify_strength_cost",
     "DeletionAttack",
+    "AdaptiveStripperAttack",
+    "PrologueSignature",
+    "CLASSIC_SIGNATURE",
+    "EXTENDED_SIGNATURE",
+    "strip_with_signature",
+    "strip_learned",
+    "count_live_anchors",
     "InstrumentationAttack",
     "ForcedExecutionAttack",
     "SlicingAttack",

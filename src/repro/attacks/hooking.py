@@ -15,23 +15,26 @@ inserted, the hooks themselves) still show.
 
 ``VTableHijackAttack`` tampers with a cleartext (hot) method, runs the
 app under a *perfectly spoofed* package identity, and reports which
-detection methods still fire.
+detection methods still fire.  Sessions are driven through
+:class:`~repro.fuzzing.session.FuzzSession` (Dynodroid with coverage
+feedback -- the attacker's best exerciser), and mesh content pins count
+as a surviving channel: a meshed bomb that trips on the tampered hot
+method defeats the hijack even though the identity APIs never blinked.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.apk.package import Apk
 from repro.attacks.base import AttackResult
 from repro.core.config import DetectionMethod
 from repro.core.stats import InstrumentationReport
 from repro.dex import instructions as ins
-from repro.errors import VMError
 from repro.fuzzing.generators import DynodroidGenerator
+from repro.fuzzing.session import FuzzSession
 from repro.vm.device import DevicePopulation
-from repro.vm.runtime import Runtime
+from repro.vm.events import Event
 
 
 class VTableHijackAttack:
@@ -69,25 +72,19 @@ class VTableHijackAttack:
         spoofed_package = protected.install_view()
 
         detections: List[str] = []
+        mesh_tripped: Set[str] = set()
         population = DevicePopulation(seed=self._seed)
         for index in range(self._sessions):
-            runtime = Runtime(
+            session = FuzzSession(
                 dex,
-                device=population.sample(),
+                DynodroidGenerator(dex, seed=self._seed * 100 + index),
+                population.sample(),
                 package=spoofed_package,
                 seed=self._seed * 100 + index,
             )
-            try:
-                runtime.boot()
-            except VMError:
-                pass
-            generator = DynodroidGenerator(dex, seed=self._seed * 100 + index)
-            for event in generator.stream(self._events):
-                try:
-                    runtime.dispatch(event)
-                except VMError:
-                    pass
-            detections.extend(runtime.detections)
+            result = session.run_for(self._events * Event.DURATION)
+            detections.extend(sorted(result.bombs_detected))
+            mesh_tripped |= result.bombs_mesh_tripped
 
         by_method: Dict[str, int] = {}
         for bomb_id in detections:
@@ -103,22 +100,37 @@ class VTableHijackAttack:
             by_method.get(DetectionMethod.PUBLIC_KEY.value, 0)
             + by_method.get(DetectionMethod.CODE_DIGEST.value, 0)
         ) > 0
+        mesh_caught = bool(mesh_tripped)
+        if scan_fired and mesh_caught:
+            notes = (
+                "code scanning and mesh content pins both caught the "
+                "tamper despite a perfect identity spoof"
+            )
+        elif scan_fired:
+            notes = (
+                "code scanning detected the tamper despite a perfect "
+                "identity spoof"
+            )
+        elif mesh_caught:
+            notes = (
+                "mesh content pins tripped on the tampered hot method "
+                "despite a perfect identity spoof"
+            )
+        else:
+            notes = "no scan bombs reached; identity spoof held"
         return AttackResult(
             attack="vtable_hijack",
-            # The hijack succeeds only if NO detection channel survives.
-            defeated_defense=not detections,
+            # The hijack succeeds only if NO detection channel survives
+            # -- neither a detection proper nor a mesh content pin.
+            defeated_defense=not detections and not mesh_caught,
             bombs_found=[],
-            bombs_exposed=sorted(set(detections)),
+            bombs_exposed=sorted(set(detections) | mesh_tripped),
             details={
                 "tampered_method": target,
                 "detections_by_method": by_method,
                 "identity_spoof_held": not identity_fired,
                 "code_scan_caught_it": scan_fired,
+                "mesh_trips": len(mesh_tripped),
             },
-            notes=(
-                "code scanning detected the tamper despite a perfect "
-                "identity spoof"
-                if scan_fired
-                else "no scan bombs reached; identity spoof held"
-            ),
+            notes=notes,
         )

@@ -16,17 +16,10 @@ from typing import Dict, List
 
 from repro.apk.package import Apk
 from repro.attacks.base import AttackResult
+from repro.attacks.signatures import SUSPICIOUS_PATTERNS
 from repro.dex.disassembler import disassemble
 
-#: What a realistic attacker greps for.
-SUSPICIOUS_PATTERNS = (
-    "get_public_key",
-    "get_manifest_digest",
-    "get_method_hash",
-    "bomb.hash",
-    "bomb.decrypt",
-    "bomb.load_run",
-)
+__all__ = ["TextSearchAttack", "SUSPICIOUS_PATTERNS"]
 
 
 class TextSearchAttack:

@@ -78,6 +78,7 @@ class ChaosConfig:
     breaker_k: int = 3
     profiling_events: int = 300
     alpha: float = 0.3
+    mesh: bool = False          # protect with the bomb mesh armed
 
 
 @dataclass
@@ -222,6 +223,7 @@ class ChaosRunner:
             seed=config.seed,
             profiling_events=config.profiling_events,
             alpha=config.alpha,
+            mesh=config.mesh,
         )
         self.protected, self.instrumentation = BombDroid(protect_config).protect(
             bundle.apk, bundle.developer_key
@@ -395,6 +397,12 @@ class ChaosRunner:
                     )
         if session.runtime.detections:
             violations.append(f"{prefix} genuine app detected repackaging")
+        if bombs.count("mesh_tripped"):
+            violations.append(
+                f"{prefix} mesh guard tripped on a genuine app (peers and "
+                "pins are all intact; contained faults must not look like "
+                "tampering)"
+            )
         for bomb_id, kinds in bombs.counts.items():
             q = kinds.get("quarantined", 0)
             if q and kinds.get("payload_error", 0) < self.config.breaker_k * q:
@@ -512,6 +520,11 @@ class ChaosRunner:
             )
         if session.runtime.detections:
             violations.append(f"{prefix} genuine app detected repackaging")
+        if session.bombs.count("mesh_tripped"):
+            violations.append(
+                f"{prefix} mesh guard tripped on a genuine app under a "
+                "hostile framework"
+            )
         return TrialRecord(
             trial=trial, scenario="hostile", armed=plan.armed_sites(),
             fault_fires=plan.fires(), fault_log=plan.log_signature(),

@@ -210,8 +210,13 @@ def _cmd_lint(args) -> int:
         return EXIT_USAGE
     apk = load_apk(getattr(args, "in"))
     rules = [r for r in args.rules.split(",") if r] if args.rules else None
+    # Meshed apps ship an alias key in strings.xml; resolve their
+    # aliased trigger invokes so site recovery still works from disk.
+    from repro.vm.aliases import alias_table_from_resources
+
+    aliases = alias_table_from_resources(apk.resources().strings) or None
     try:
-        diagnostics = run_lint(apk.dex(), rules=rules)
+        diagnostics = run_lint(apk.dex(), rules=rules, aliases=aliases)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
@@ -709,6 +714,7 @@ def _cmd_chaos(args) -> int:
             events=args.events,
             devices=args.devices,
             strict=args.strict,
+            mesh=args.mesh,
         )
         report = run_chaos(config)
         runner = run_chaos
@@ -958,6 +964,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distinct pirate devices rotated across trials")
     chaos.add_argument("--strict", action="store_true",
                        help="re-raise contained failures (debugging)")
+    chaos.add_argument("--mesh", action="store_true",
+                       help="protect with the bomb mesh armed (cross-"
+                            "referenced payloads, morphed prologues)")
     chaos.add_argument("--crash-restart", action="store_true",
                        help="run the kill-and-recover matrix against the "
                             "durable report server instead of the VM matrix")

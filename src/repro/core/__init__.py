@@ -26,7 +26,15 @@ Public API::
 from repro.core.config import BombDroidConfig, DetectionMethod, ResponseKind
 from repro.core.stats import Bomb, BombOrigin, InstrumentationReport
 from repro.core.result import ProtectionResult
-from repro.core.inner_triggers import InnerCondition, Constraint, build_inner_condition
+from repro.core.inner_triggers import (
+    InnerCondition,
+    Constraint,
+    ProbedCondition,
+    build_inner_condition,
+)
+from repro.core.mesh import MeshPlanner, PrologueMorph, PrologueShape, weave_mesh
+from repro.core.payloads import MeshGuard
+from repro.core.responses import ResponsePlan
 from repro.core.bombdroid import BombDroid, app_identity_digest, derive_app_seed
 from repro.core.ssn import SSNConfig, SSNProtector
 
@@ -43,7 +51,14 @@ __all__ = [
     "InstrumentationReport",
     "InnerCondition",
     "Constraint",
+    "ProbedCondition",
     "build_inner_condition",
+    "MeshPlanner",
+    "PrologueMorph",
+    "PrologueShape",
+    "weave_mesh",
+    "MeshGuard",
+    "ResponsePlan",
     "SSNConfig",
     "SSNProtector",
 ]

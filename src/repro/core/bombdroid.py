@@ -152,6 +152,17 @@ class BombDroid:
         if config.mute_after_detection:
             mute_flag = self._install_mute_flag(dex)
 
+        mesh_planner = None
+        if config.mesh:
+            from repro.core.mesh import MeshPlanner
+            from repro.vm.aliases import ALIAS_RESOURCE_KEY
+
+            mesh_planner = MeshPlanner(config, rng)
+            # Ship the alias key so the runtime can resolve aliased
+            # trigger invokes.  Resources survive repackaging -- an
+            # attacker who drops them breaks the app outright.
+            resources.strings[ALIAS_RESOURCE_KEY] = mesh_planner.alias_key
+
         instrumenter = Instrumenter(
             dex,
             config,
@@ -161,6 +172,7 @@ class BombDroid:
             scan_targets=scan_targets,
             app_static_fields=app_static_fields,
             mute_flag=mute_flag,
+            mesh_planner=mesh_planner,
         )
 
         # -- step 3a: existing QCs ---------------------------------------------
@@ -172,12 +184,29 @@ class BombDroid:
             self._insert_artificial(dex, candidates, instrumenter, entropy, rng)
         )
 
+        # -- step 3c: bomb mesh (second weaving pass) ----------------------------
+        if mesh_planner is not None:
+            from repro.core.mesh import weave_mesh
+
+            weave_mesh(
+                dex,
+                instrumenter.pending_sites,
+                mesh_planner,
+                report,
+                hot_methods=report.hot_methods,
+            )
+
         dex.validate()
         stage_start = self._lap(timings, "instrument", stage_start)
 
-        # -- step 3c: verification gate -------------------------------------------
+        # -- step 3d: verification gate -------------------------------------------
         if strict:
-            self._strict_gate(dex, report, entropy)
+            self._strict_gate(
+                dex,
+                report,
+                entropy,
+                aliases=mesh_planner.aliases() if mesh_planner else None,
+            )
         stage_start = self._lap(timings, "verify", stage_start)
 
         # -- step 4: packaging ---------------------------------------------------
@@ -198,7 +227,9 @@ class BombDroid:
         return now
 
     @staticmethod
-    def _strict_gate(dex: DexFile, report: InstrumentationReport, entropy) -> None:
+    def _strict_gate(
+        dex: DexFile, report: InstrumentationReport, entropy, aliases=None
+    ) -> None:
         """Refuse to emit an app with error-severity diagnostics.
 
         Imported lazily: repro.lint depends on repro.analysis, and this
@@ -211,7 +242,9 @@ class BombDroid:
             history.name: history.unique_count
             for history in entropy.histories.values()
         }
-        diagnostics = run_lint(dex, report=report, field_entropy=field_entropy)
+        diagnostics = run_lint(
+            dex, report=report, field_entropy=field_entropy, aliases=aliases
+        )
         failures = errors(diagnostics)
         if failures:
             preview = "; ".join(diag.format() for diag in failures[:5])

@@ -95,6 +95,31 @@ class BombDroidConfig:
     #: partial digest suffices).
     stego_digest_bytes: int = 8
 
+    #: ARMAND-style bomb mesh (repro.core.mesh).  Opt-in: when off, the
+    #: protection pipeline draws the exact same rng stream and emits
+    #: byte-identical output as before the mesh existed, keeping the
+    #: Table 2/3/5 numbers and the artifact cache stable.
+    mesh: bool = False
+
+    #: Cross-reference topology over real bombs: "ring" links each bomb
+    #: to its successors on a shuffled cycle; "k_regular" draws
+    #: ``mesh_degree`` random distinct peers per bomb.
+    mesh_topology: str = "ring"
+
+    #: Shape-guard out-degree per bomb (both topologies).
+    mesh_degree: int = 1
+
+    #: Morph bomb prologues through the per-app shape library (mesh
+    #: runs only).
+    mesh_morph_prologues: bool = True
+
+    #: Anti-analysis probes OR-combined into inner triggers (mesh runs
+    #: only); drawn per bomb from this pool.
+    mesh_probe_kinds: Tuple[str, ...] = ("debugger", "hooks")
+
+    #: Draw delayed/probabilistic response plans (mesh runs only).
+    mesh_delayed_responses: bool = True
+
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
@@ -107,3 +132,11 @@ class BombDroidConfig:
             raise ValueError("at least one detection method is required")
         if not self.responses:
             raise ValueError("at least one response kind is required")
+        if self.mesh_topology not in ("ring", "k_regular"):
+            raise ValueError("mesh_topology must be 'ring' or 'k_regular'")
+        if self.mesh_degree < 1:
+            raise ValueError("mesh_degree must be >= 1")
+        if self.mesh:
+            unknown = set(self.mesh_probe_kinds) - {"debugger", "hooks"}
+            if unknown:
+                raise ValueError(f"unknown probe kind(s): {sorted(unknown)}")

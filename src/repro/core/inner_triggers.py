@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dex.builder import MethodBuilder
 from repro.dex.instructions import Instr
@@ -214,6 +214,64 @@ class InnerCondition:
         builder.const(test, True)
         builder.label(end_label)
         return test
+
+
+@dataclass(frozen=True)
+class ProbedCondition:
+    """An inner condition OR-combined with anti-analysis probes.
+
+    The mesh planner wraps the probabilistic inner condition so that
+    detection *also* runs whenever an analysis probe fires --
+    ``bomb.probe("debugger")`` (a tracer is attached) or
+    ``bomb.probe("hooks")`` (the framework handler table was tampered
+    with).  On a clean user device every probe is false and the wrapped
+    condition behaves exactly like the bare one, so the population-level
+    satisfaction probability (Table 3's expectation) is unchanged --
+    :meth:`probability` delegates to the inner condition.
+
+    Duck-types :class:`InnerCondition`'s evaluate/probability/describe/
+    emit surface so the payload builder and evaluation harness need no
+    special cases.
+    """
+
+    inner: Optional[InnerCondition]
+    probes: Tuple[str, ...] = ()
+
+    def evaluate(self, profile: DeviceProfile) -> bool:
+        """Population-side evaluation: probes are analysis-environment
+        facts, never true on a sampled user device."""
+        return self.inner.evaluate(profile) if self.inner is not None else False
+
+    def probability(self) -> float:
+        return self.inner.probability() if self.inner is not None else 0.0
+
+    def describe(self) -> str:
+        parts = [f"probe[{kind}]" for kind in self.probes]
+        if self.inner is not None:
+            parts.append(f"({self.inner.describe()})")
+        return " || ".join(parts) if parts else "never"
+
+    def emit(self, builder: MethodBuilder) -> int:
+        """Probes short-circuit to true; otherwise fall back to the
+        inner condition's own evaluation code."""
+        result = builder.reg()
+        builder.const(result, False)
+        done = builder.fresh_label("probed_done")
+        for kind in self.probes:
+            kind_reg = builder.const_new(kind)
+            hit = builder.reg()
+            builder.invoke(hit, "bomb.probe", (kind_reg,))
+            miss = builder.fresh_label("probe_miss")
+            builder.if_eqz(hit, miss)
+            builder.const(result, True)
+            builder.goto(done)
+            builder.label(miss)
+        if self.inner is not None:
+            inner_reg = self.inner.emit(builder)
+            builder.if_eqz(inner_reg, done)
+            builder.const(result, True)
+        builder.label(done)
+        return result
 
 
 def build_inner_condition(

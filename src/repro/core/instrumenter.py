@@ -39,7 +39,14 @@ from repro.analysis.liveness import live_registers_for_region
 from repro.analysis.qualified_conditions import QCKind, QualifiedCondition
 from repro.analysis.regions import BodyRegion
 from repro.core.config import BombDroidConfig, DetectionMethod, ResponseKind
-from repro.core.inner_triggers import InnerCondition
+from repro.core.inner_triggers import InnerCondition, ProbedCondition
+from repro.core.mesh import (
+    MeshPlanner,
+    PendingSite,
+    PrologueMorph,
+    PrologueShape,
+    decoy_hex_for,
+)
 from repro.core.payloads import (
     DetectionSpec,
     PayloadSpec,
@@ -96,6 +103,17 @@ class MethodEditor:
 
 
 @dataclass
+class PayloadBuild:
+    """Everything `_make_payload` produced for one bomb."""
+
+    spec: PayloadSpec
+    ciphertext: bytes
+    detection: Optional[DetectionMethod]
+    response: Optional[ResponseKind]
+    inner: Optional[object]          # InnerCondition or ProbedCondition
+
+
+@dataclass
 class BombMaterials:
     """The cryptographic identity of one bomb."""
 
@@ -126,6 +144,7 @@ class Instrumenter:
         scan_targets: Sequence[Tuple[str, str]] = (),
         app_static_fields: Sequence[str] = (),
         mute_flag: Optional[str] = None,
+        mesh_planner: Optional[MeshPlanner] = None,
     ) -> None:
         self._dex = dex
         self._config = config
@@ -139,6 +158,11 @@ class Instrumenter:
         self._counter = itertools.count(1)
         self._detection_cycle = itertools.cycle(config.detection_methods)
         self._response_cycle = itertools.cycle(config.responses)
+        #: Mesh runs only: morph/probe/plan source plus the sites the
+        #: second weaving pass will revisit.  ``None`` keeps the rng
+        #: stream and emitted bytes identical to the pre-mesh pipeline.
+        self._mesh = mesh_planner
+        self.pending_sites: List[PendingSite] = []
 
     # ------------------------------------------------------------------
     # materials
@@ -187,12 +211,12 @@ class Instrumenter:
         inner: Optional[InnerCondition],
         local_count: Optional[int] = None,
         slot_locals: Optional[Tuple[int, ...]] = None,
-    ) -> Tuple[bytes, Optional[DetectionMethod], Optional[ResponseKind], Optional[str]]:
-        """Build, serialize and encrypt the payload; returns
-        (ciphertext, detection, response, null_target)."""
+    ) -> PayloadBuild:
+        """Build, serialize and encrypt the payload."""
         detection_spec = None
         detection = response = None
         null_target = None
+        response_plan = None
         if real:
             detection = next(self._detection_cycle)
             response = next(self._response_cycle)
@@ -207,6 +231,13 @@ class Instrumenter:
                     null_target = self._rng.choice(sorted(self._app_static_fields))
                 else:
                     response = ResponseKind.CRASH
+            if self._mesh is not None:
+                # Mesh: delayed/probabilistic detection response plus
+                # anti-analysis probes OR-ed into the inner trigger.
+                response_plan = self._mesh.plan_response(response)
+                probes = self._mesh.choose_probes()
+                if probes:
+                    inner = ProbedCondition(inner, probes)
         spec = PayloadSpec(
             bomb_id=materials.bomb_id,
             payload_class=materials.payload_class,
@@ -220,9 +251,16 @@ class Instrumenter:
             mute_flag=self._mute_flag if real else None,
             local_count=local_count,
             slot_locals=slot_locals,
+            response_plan=response_plan,
         )
         ciphertext = encrypt_payload(build_payload_dex(spec), constant, materials.salt)
-        return ciphertext, detection, response, null_target
+        return PayloadBuild(
+            spec=spec,
+            ciphertext=ciphertext,
+            detection=detection,
+            response=response,
+            inner=inner if real else None,
+        )
 
     def _detection_spec(self, method: DetectionMethod) -> Optional[DetectionSpec]:
         if method is DetectionMethod.PUBLIC_KEY:
@@ -248,6 +286,14 @@ class Instrumenter:
     # the shared outer shape
     # ------------------------------------------------------------------
 
+    def _invoke_name(self, name: str, morph: Optional[PrologueMorph]) -> str:
+        """Canonical framework symbol, or the per-app alias for aliased
+        morphs (resolved back by the runtime through the alias key the
+        protector ships in strings.xml)."""
+        if morph is not None and morph.use_alias and self._mesh is not None:
+            return self._mesh.alias_of(name)
+        return name
+
     def _emit_invocation(
         self,
         editor: MethodEditor,
@@ -257,30 +303,93 @@ class Instrumenter:
         live_regs: Sequence[int],
         no_match_label: str,
         match_exit_label: str,
+        morph: Optional[PrologueMorph] = None,
     ) -> List[Instr]:
-        """The Listing-3 prologue as an instruction list.
+        """The outer-trigger prologue as an instruction list.
 
         ``live_regs`` are the caller registers travelling through the
         payload array, in slot order.  ``no_match_label`` is where
         control goes when the hash check fails; ``match_exit_label``
         where it resumes after a payload run that requested
         fall-through.
+
+        With no ``morph`` this is exactly the Listing-3 shape; mesh
+        runs draw per-bomb variants from the shape library (all
+        semantically identical: the payload runs iff
+        ``Hash(X|salt) == Hc``).  Only the head varies -- the hash
+        invoke's argument order and the decrypt/dispatch tail stay
+        canonical so the verifier and linter reason about one protocol.
         """
         r = len(live_regs)
         (
             r_salt, r_id, r_hash, r_hc, r_eq, r_key, r_ct, r_blob,
             r_len, r_arr, r_idx, r_entry, r_res, r_ctl, r_one, r_rv,
         ) = editor.regs(16)
-        out: List[Instr] = [
-            ins.const(r_salt, materials.salt_hex),
-            ins.const(r_id, materials.bomb_id),
-            ins.invoke(r_hash, "bomb.hash", (var_reg, r_salt, r_id)),
-            ins.const(r_hc, materials.hc_hex),
-            ins.invoke(r_eq, "java.str.equals", (r_hash, r_hc)),
-            ins.if_eqz(r_eq, no_match_label),
-            ins.invoke(r_key, "bomb.derive", (var_reg, r_salt)),
+        call = lambda name: self._invoke_name(name, morph)  # noqa: E731
+        shape = morph.shape if morph is not None else PrologueShape.CLASSIC
+
+        if shape is PrologueShape.SWAPPED:
+            # Operand-order swap: id const first, equals args reversed.
+            head = [
+                ins.const(r_id, materials.bomb_id),
+                ins.const(r_salt, materials.salt_hex),
+                ins.invoke(r_hash, call("bomb.hash"), (var_reg, r_salt, r_id)),
+                ins.const(r_hc, materials.hc_hex),
+                ins.invoke(r_eq, "java.str.equals", (r_hc, r_hash)),
+                ins.if_eqz(r_eq, no_match_label),
+            ]
+        elif shape is PrologueShape.SPLIT:
+            # Hc compared in two substring halves; the first live
+            # if_eqz lands six instructions after the hash invoke,
+            # outside the published stripper's five-slot window.
+            r_lo, r_mid, r_hi, r_half, r_hc2, r_eq2 = editor.regs(6)
+            head = [
+                ins.const(r_salt, materials.salt_hex),
+                ins.const(r_id, materials.bomb_id),
+                ins.invoke(r_hash, call("bomb.hash"), (var_reg, r_salt, r_id)),
+                ins.const(r_hc, materials.hc_hex[:20]),
+                ins.const(r_lo, 0),
+                ins.const(r_mid, 20),
+                ins.invoke(r_half, "java.str.substring", (r_hash, r_lo, r_mid)),
+                ins.invoke(r_eq, "java.str.equals", (r_half, r_hc)),
+                ins.if_eqz(r_eq, no_match_label),
+                ins.const(r_hc2, materials.hc_hex[20:]),
+                ins.const(r_hi, 40),
+                ins.invoke(r_half, "java.str.substring", (r_hash, r_mid, r_hi)),
+                ins.invoke(r_eq2, "java.str.equals", (r_half, r_hc2)),
+                ins.if_eqz(r_eq2, no_match_label),
+            ]
+        elif shape is PrologueShape.DECOY:
+            # Dead decoy compare first: Hash(X|salt) == decoy implies
+            # X != c, so branching to no-match is semantically exact --
+            # and the live if_eqz is pushed out of the strip window
+            # (the in-window branch is an if_nez the stripper ignores).
+            r_decoy, r_dq = editor.regs(2)
+            head = [
+                ins.const(r_salt, materials.salt_hex),
+                ins.const(r_id, materials.bomb_id),
+                ins.invoke(r_hash, call("bomb.hash"), (var_reg, r_salt, r_id)),
+                ins.const(r_decoy, decoy_hex_for(materials.hc_hex)),
+                ins.invoke(r_dq, "java.str.equals", (r_hash, r_decoy)),
+                ins.if_nez(r_dq, no_match_label),
+                ins.const(r_hc, materials.hc_hex),
+                ins.invoke(r_eq, "java.str.equals", (r_hash, r_hc)),
+                ins.if_eqz(r_eq, no_match_label),
+            ]
+        else:
+            head = [
+                ins.const(r_salt, materials.salt_hex),
+                ins.const(r_id, materials.bomb_id),
+                ins.invoke(r_hash, call("bomb.hash"), (var_reg, r_salt, r_id)),
+                ins.const(r_hc, materials.hc_hex),
+                ins.invoke(r_eq, "java.str.equals", (r_hash, r_hc)),
+                ins.if_eqz(r_eq, no_match_label),
+            ]
+
+        out: List[Instr] = head + [
+            ins.invoke(r_key, call("bomb.derive"), (var_reg, r_salt)),
             ins.const(r_ct, ciphertext),
-            ins.invoke(r_blob, "bomb.decrypt", (r_ct, r_key, r_id)),
+            ins.invoke(r_blob, call("bomb.decrypt"), (r_ct, r_key, r_id)),
             ins.const(r_len, r + 2),
             ins.new_array(r_arr, r_len),
         ]
@@ -288,7 +397,9 @@ class Instrumenter:
             out.append(ins.const(r_idx, slot))
             out.append(ins.aput(reg, r_arr, r_idx))
         out.append(ins.const(r_entry, materials.entry))
-        out.append(ins.invoke(r_res, "bomb.load_run", (r_blob, r_entry, r_arr, r_id)))
+        out.append(
+            ins.invoke(r_res, call("bomb.load_run"), (r_blob, r_entry, r_arr, r_id))
+        )
         for slot, reg in enumerate(live_regs):
             out.append(ins.const(r_idx, slot))
             out.append(ins.aget(reg, r_res, r_idx))
@@ -337,28 +448,31 @@ class Instrumenter:
             reg_map=reg_map,
             label_prefix=f"w{materials.bomb_id}_",
         )
-        ciphertext, detection, response, _ = self._make_payload(
+        built = self._make_payload(
             materials, qc.const_value, len(packed), woven, real, inner,
             local_count=len(referenced), slot_locals=slot_locals,
         )
+        morph = self._next_morph()
         block = self._emit_invocation(
             editor,
             qc.var_reg,
             materials,
-            ciphertext,
+            built.ciphertext,
             packed,
             no_match_label=region.exit_label,
             match_exit_label=region.exit_label,
+            morph=morph,
         )
         editor.splice(first_pc, region.end, block)
         erased = qc.const_removable and qc.const_def_pc is not None
         if erased:
             editor.nop(qc.const_def_pc)
         method.validate()
+        self._note_site(materials, method, built, qc.const_value)
         return self._record(
-            materials, method, qc, real, woven=True, detection=detection,
-            response=response, inner=inner, const_erased=erased,
-            packed_regs=tuple(packed),
+            materials, method, qc, real, woven=True, detection=built.detection,
+            response=built.response, inner=built.inner, const_erased=erased,
+            packed_regs=tuple(packed), morph=morph,
         )
 
     def transform_payload_only(
@@ -374,17 +488,19 @@ class Instrumenter:
 
         materials = self._materials(qc.const_value)
         editor = MethodEditor(method, label_ns=materials.bomb_id)
-        ciphertext, detection, response, _ = self._make_payload(
+        built = self._make_payload(
             materials, qc.const_value, 0, (), real, inner
         )
+        morph = self._next_morph()
         branch = method.instructions[qc.branch_pc]
 
         if qc.equal_jumps:
             # if_eq X, c, @body  ->  bomb; match -> @body, miss -> fall on.
             after = editor.fresh_label("after")
             block = self._emit_invocation(
-                editor, qc.var_reg, materials, ciphertext, (),
+                editor, qc.var_reg, materials, built.ciphertext, (),
                 no_match_label=after, match_exit_label=branch.target,
+                morph=morph,
             )
             block.append(Label(after))
             editor.splice(qc.branch_pc, qc.branch_pc + 1, block)
@@ -394,8 +510,9 @@ class Instrumenter:
             miss = editor.fresh_label("miss")
             cont = editor.fresh_label("cont")
             block = self._emit_invocation(
-                editor, qc.var_reg, materials, ciphertext, (),
+                editor, qc.var_reg, materials, built.ciphertext, (),
                 no_match_label=miss, match_exit_label=cont,
+                morph=morph,
             )
             block.append(Label(miss))
             block.append(ins.goto(branch.target))
@@ -414,9 +531,11 @@ class Instrumenter:
         if erased:
             editor.nop(qc.const_def_pc)
         method.validate()
+        self._note_site(materials, method, built, qc.const_value)
         return self._record(
-            materials, method, qc, real, woven=False, detection=detection,
-            response=response, inner=inner, const_erased=erased,
+            materials, method, qc, real, woven=False, detection=built.detection,
+            response=built.response, inner=built.inner, const_erased=erased,
+            morph=morph,
         )
 
     def _transform_switch(
@@ -449,10 +568,11 @@ class Instrumenter:
                 reg_map=reg_map,
                 label_prefix=f"w{materials.bomb_id}_",
             )
-        ciphertext, detection, response, _ = self._make_payload(
+        built = self._make_payload(
             materials, qc.const_value, len(packed), woven, real, inner,
             local_count=len(referenced), slot_locals=slot_locals,
         )
+        morph = self._next_morph()
 
         # Splice the (later) region first so the switch pc stays valid.
         if region is not None:
@@ -464,8 +584,9 @@ class Instrumenter:
         else:
             exit_label = case_label
         block = self._emit_invocation(
-            editor, qc.var_reg, materials, ciphertext, packed,
+            editor, qc.var_reg, materials, built.ciphertext, packed,
             no_match_label=do_switch, match_exit_label=exit_label,
+            morph=morph,
         )
         block.append(Label(do_switch))
         new_table = {k: v for k, v in switch.value.items() if k != qc.case_key}
@@ -473,10 +594,11 @@ class Instrumenter:
             block.append(ins.switch(switch.a, new_table))
         editor.splice(switch_pc, switch_pc + 1, block)
         method.validate()
+        self._note_site(materials, method, built, qc.const_value)
         return self._record(
             materials, method, qc, real, woven=region is not None,
-            detection=detection, response=response, inner=inner,
-            packed_regs=tuple(packed),
+            detection=built.detection, response=built.response, inner=built.inner,
+            packed_regs=tuple(packed), morph=morph,
         )
 
     def insert_artificial(
@@ -490,19 +612,23 @@ class Instrumenter:
         """Insert an artificial QC bomb at ``pc`` testing a static field."""
         materials = self._materials(constant)
         editor = MethodEditor(method, label_ns=materials.bomb_id)
-        ciphertext, detection, response, _ = self._make_payload(
+        built = self._make_payload(
             materials, constant, 0, (), True, inner
         )
+        morph = self._next_morph()
         var_reg = editor.reg()
         after = editor.fresh_label("after")
         block: List[Instr] = [ins.sget(var_reg, field_name)]
         block += self._emit_invocation(
-            editor, var_reg, materials, ciphertext, (),
+            editor, var_reg, materials, built.ciphertext, (),
             no_match_label=after, match_exit_label=after,
+            morph=morph,
         )
         block.append(Label(after))
         editor.insert(pc, block)
         method.validate()
+        self._note_site(materials, method, built, constant)
+        inner = built.inner
         bomb = Bomb(
             bomb_id=materials.bomb_id,
             method=method.qualified_name,
@@ -513,14 +639,40 @@ class Instrumenter:
             hc_hex=materials.hc_hex,
             payload_class=materials.payload_class,
             woven=False,
-            detection=detection,
-            response=response,
+            detection=built.detection,
+            response=built.response,
             inner_description=inner.describe() if inner else "",
             inner_probability=inner.probability() if inner else 1.0,
+            prologue_shape=morph.describe() if morph else "classic",
         )
         return bomb
 
     # ------------------------------------------------------------------
+
+    def _next_morph(self) -> Optional[PrologueMorph]:
+        """Draw a prologue variant; ``None`` (pure Listing 3) unmeshed."""
+        return self._mesh.next_morph() if self._mesh is not None else None
+
+    def _note_site(
+        self,
+        materials: BombMaterials,
+        method: DexMethod,
+        built: PayloadBuild,
+        constant,
+    ) -> None:
+        """Remember a real bomb for the mesh's second weaving pass."""
+        if self._mesh is None or built.spec.detection is None:
+            return
+        self.pending_sites.append(
+            PendingSite(
+                bomb_id=materials.bomb_id,
+                method_name=method.qualified_name,
+                constant=constant,
+                salt=materials.salt,
+                spec=built.spec,
+                ciphertext=built.ciphertext,
+            )
+        )
 
     def _record(
         self,
@@ -531,9 +683,10 @@ class Instrumenter:
         woven: bool,
         detection,
         response,
-        inner: Optional[InnerCondition],
+        inner,
         const_erased: bool = False,
         packed_regs: Tuple[int, ...] = (),
+        morph: Optional[PrologueMorph] = None,
     ) -> Bomb:
         return Bomb(
             bomb_id=materials.bomb_id,
@@ -551,6 +704,7 @@ class Instrumenter:
             inner_probability=inner.probability() if (inner and real) else 1.0,
             const_erased=const_erased,
             packed_regs=packed_regs,
+            prologue_shape=morph.describe() if morph else "classic",
         )
 
 

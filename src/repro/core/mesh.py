@@ -1,0 +1,334 @@
+"""Bomb mesh planning: ARMAND-style multi-pattern tamper response.
+
+The classic pipeline emits one prologue shape (Listing 3) and mutually
+independent bombs, so a single learned pattern strips every site and no
+surviving bomb notices.  The mesh closes both gaps:
+
+* **Cross-reference topology** (:meth:`MeshPlanner.topology`): each real
+  bomb's payload verifies digests of *peer* bombs' host methods, so
+  deleting or rewriting any one bomb trips a surviving bomb's tamper
+  response.  Two guard layers cooperate:
+
+  - *shape guards* use ``bomb.shape_digest`` (bytes constants masked),
+    which is invariant under the mesh's own ciphertext rewrites --
+    breaking the circular dependency of bombs guarding each other --
+    yet changes when a prologue branch is stripped, NOPed, or deleted;
+  - *content pins* use ``bomb.method_digest`` (the full instruction
+    hash) chained over host methods in rebuild order, catching
+    ciphertext blanking that shape guards deliberately ignore.  The
+    chain is open: the last-rebuilt method is the one unpinned anchor
+    (a cycle would be unsatisfiable), but the attacker cannot tell
+    which method that is -- the guards live inside ciphertext.
+
+* **Prologue morphing** (:meth:`MeshPlanner.next_morph`): each bomb's
+  outer shape is drawn from a per-app library of semantically
+  equivalent prologues (operand swaps, split hash compare, decoy dead
+  compare, per-app alias symbols for the trigger invokes), so no single
+  byte pattern matches every site.  Draws alternate between the
+  classic-strip *survivor* subset and the full pool, guaranteeing at
+  least every other bomb outlives the published single-pattern strip.
+
+* **Response plans** (:meth:`MeshPlanner.plan_response`): tamper
+  responses are drawn from the delayed/probabilistic catalog
+  (:mod:`repro.core.responses`), decorrelating the response from the
+  strip that caused it.
+
+Everything here is driven by the per-app seeded rng, so protection
+stays deterministic and the serial/parallel batch guarantee holds.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import BombDroidConfig, ResponseKind
+from repro.core.payloads import (
+    MeshGuard,
+    PayloadSpec,
+    build_payload_dex,
+    encrypt_payload,
+)
+from repro.core.responses import ResponsePlan, draw_response_plan
+from repro.core.weaving import replace_const_value
+from repro.crypto import Salt, sha1_hex
+from repro.dex.hashing import method_instruction_hash, method_shape_hash
+from repro.dex.model import DexFile
+from repro.errors import InstrumentationError
+from repro.vm.aliases import ALIASABLE_APIS, alias_table, derive_alias
+
+
+class PrologueShape(enum.Enum):
+    """Semantically equivalent outer-trigger shapes (Listing 3 variants)."""
+
+    CLASSIC = "classic"    # the published Listing-3 order
+    SWAPPED = "swapped"    # operand/const order swapped; still strippable
+    SPLIT = "split"        # hash compared in two substring halves
+    DECOY = "decoy"        # dead decoy compare pushes the live branch out
+
+
+@dataclass(frozen=True)
+class PrologueMorph:
+    """One drawn prologue variant: a shape plus the alias switch."""
+
+    shape: PrologueShape
+    use_alias: bool = False
+
+    def describe(self) -> str:
+        return self.shape.value + ("+alias" if self.use_alias else "")
+
+
+def survives_classic_strip(morph: PrologueMorph) -> bool:
+    """Whether the classic single-pattern stripper misses this variant.
+
+    The published stripper anchors on the literal ``bomb.hash`` invoke
+    and patches the first ``if_eqz`` within five instructions.  Aliased
+    invokes are never found; SPLIT and DECOY place the live ``if_eqz``
+    at offset six (DECOY's in-window branch is an ``if_nez``).
+    """
+    return morph.use_alias or morph.shape in (PrologueShape.SPLIT, PrologueShape.DECOY)
+
+
+_ALL_MORPHS: Tuple[PrologueMorph, ...] = tuple(
+    PrologueMorph(shape, use_alias)
+    for shape in PrologueShape
+    for use_alias in (False, True)
+)
+_SURVIVOR_MORPHS: Tuple[PrologueMorph, ...] = tuple(
+    morph for morph in _ALL_MORPHS if survives_classic_strip(morph)
+)
+
+
+def decoy_hex_for(hc_hex: str) -> str:
+    """The DECOY shape's dead-compare constant, derived from Hc.
+
+    Any value different from ``hc_hex`` is semantically safe (the
+    decoy branch then only fires when X != c, which is already the
+    no-match outcome); derivation keeps it deterministic per bomb.
+    """
+    decoy = sha1_hex(f"decoy|{hc_hex}".encode("utf-8"))
+    if decoy == hc_hex:
+        decoy = ("0" if decoy[0] != "0" else "1") + decoy[1:]
+    return decoy
+
+
+@dataclass
+class PendingSite:
+    """One real bomb awaiting the second (mesh) weaving pass."""
+
+    bomb_id: str
+    method_name: str
+    constant: object
+    salt: Salt
+    spec: PayloadSpec
+    ciphertext: bytes
+
+
+class MeshPlanner:
+    """Per-app drawing of topology, morphs, probes and response plans.
+
+    Constructed only for ``config.mesh`` runs: it consumes rng draws
+    (alias key, shuffles), and the unmeshed pipeline must keep its
+    exact pre-mesh rng stream.
+    """
+
+    def __init__(self, config: BombDroidConfig, rng: random.Random) -> None:
+        self._config = config
+        self._rng = rng
+        #: Per-app alias key; shipped under an innocuous strings.xml
+        #: entry so the runtime can resolve aliased invokes.
+        self.alias_key = f"{rng.getrandbits(96):024x}"
+        self._alias_of = {
+            name: derive_alias(self.alias_key, name) for name in ALIASABLE_APIS
+        }
+        self._draws = 0
+
+    # -- prologue morphing -------------------------------------------------
+
+    def alias_of(self, name: str) -> str:
+        """The emitted symbol for framework call ``name``."""
+        return self._alias_of.get(name, name)
+
+    def aliases(self) -> Dict[str, str]:
+        """``alias -> canonical`` map (for the runtime and the linter)."""
+        return alias_table(self.alias_key)
+
+    def next_morph(self) -> PrologueMorph:
+        """Draw the next bomb's prologue variant.
+
+        Even-numbered draws come from the classic-strip survivor
+        subset, odd ones from the full pool: whatever the per-app rng
+        does, at least half the bombs (including the first) outlive
+        the published single-pattern strip.
+        """
+        if not self._config.mesh_morph_prologues:
+            return PrologueMorph(PrologueShape.CLASSIC, False)
+        pool = _SURVIVOR_MORPHS if self._draws % 2 == 0 else _ALL_MORPHS
+        self._draws += 1
+        return self._rng.choice(pool)
+
+    # -- inner-trigger probes ---------------------------------------------
+
+    def choose_probes(self) -> Tuple[str, ...]:
+        """Anti-analysis probes OR-combined into one bomb's inner trigger."""
+        return tuple(
+            kind
+            for kind in self._config.mesh_probe_kinds
+            if self._rng.random() < 0.5
+        )
+
+    # -- responses ---------------------------------------------------------
+
+    def plan_response(self, kind: ResponseKind) -> ResponsePlan:
+        """A delay/gate envelope around ``kind`` (or immediate when the
+        delayed-response catalog is disabled)."""
+        if not self._config.mesh_delayed_responses:
+            return ResponsePlan(kind=kind)
+        return draw_response_plan(kind, self._rng)
+
+    # -- topology ----------------------------------------------------------
+
+    def topology(self, bomb_ids: Sequence[str]) -> Dict[str, Tuple[str, ...]]:
+        """``bomb_id -> shape-guard peers`` for the configured topology."""
+        ids = list(bomb_ids)
+        if len(ids) < 2:
+            return {bomb_id: () for bomb_id in ids}
+        degree = min(self._config.mesh_degree, len(ids) - 1)
+        peers: Dict[str, Tuple[str, ...]] = {}
+        if self._config.mesh_topology == "ring":
+            order = ids[:]
+            self._rng.shuffle(order)
+            n = len(order)
+            for i, bomb_id in enumerate(order):
+                peers[bomb_id] = tuple(
+                    order[(i + 1 + j) % n] for j in range(degree)
+                )
+        else:  # k_regular: degree random distinct peers per bomb
+            for bomb_id in ids:
+                pool = [other for other in ids if other != bomb_id]
+                peers[bomb_id] = tuple(self._rng.sample(pool, degree))
+        return peers
+
+
+def weave_mesh(
+    dex: DexFile,
+    sites: Sequence[PendingSite],
+    planner: MeshPlanner,
+    report=None,
+    hot_methods: Sequence[str] = (),
+) -> Dict[str, Tuple[str, ...]]:
+    """Second weaving pass: inject peer guards into every real payload.
+
+    Runs after instrumentation (all bombs placed, all pcs final) and
+    before validation.  For each site the payload is rebuilt with its
+    guards, re-encrypted under the same (c, salt) materials, and the
+    new ciphertext spliced over the old one -- located by value, since
+    instrumentation-time splicing shifted every recorded pc.
+
+    Shape digests are precomputed once (they mask bytes constants, so
+    our own rewrites never invalidate them).  Content pins chain host
+    methods in rebuild order: every bomb in method *i* pins the final
+    full hash of method *i-1*, which is already rebuilt when method
+    *i*'s payloads are sealed.
+
+    ``hot_methods`` extends the content-pin layer beyond the mesh's own
+    hosts: each real bomb additionally pins one hot (cleartext, never
+    instrumented) app method, assigned round-robin so every hot method
+    is covered many times over.  An attacker's edit to hot code -- the
+    vtable-hijack scenario's ad-SDK insertion -- then trips whichever
+    reachable bomb pins it, even while the identity APIs are perfectly
+    spoofed.  Hosts are excluded from the pool: their hashes change as
+    the mesh reseals them, and the rebuild-order chain already covers
+    them.
+    """
+    real = [site for site in sites if site.spec.detection is not None]
+    if len(real) < 2:
+        return {}
+
+    peers = planner.topology([site.bomb_id for site in real])
+    by_id = {site.bomb_id: site for site in real}
+    shape_hex = {
+        site.bomb_id: method_shape_hash(dex.get_method(site.method_name))
+        for site in real
+    }
+
+    method_order: List[str] = []
+    for site in real:
+        if site.method_name not in method_order:
+            method_order.append(site.method_name)
+
+    hot_pool = [name for name in hot_methods if name not in method_order]
+    hot_hex = {
+        name: method_instruction_hash(dex.get_method(name)) for name in hot_pool
+    }
+    hot_pin_of: Dict[str, str] = {}
+    if hot_pool:
+        for index, site in enumerate(real):
+            hot_pin_of[site.bomb_id] = hot_pool[index % len(hot_pool)]
+
+    for index, method_name in enumerate(method_order):
+        pin: Optional[MeshGuard] = None
+        if index > 0:
+            prev = method_order[index - 1]
+            pin = MeshGuard(
+                peer_id="",
+                peer_method=prev,
+                expected_hex=method_instruction_hash(dex.get_method(prev)),
+                kind="content",
+            )
+        for site in real:
+            if site.method_name != method_name:
+                continue
+            guards = [
+                MeshGuard(
+                    peer_id=peer_id,
+                    peer_method=by_id[peer_id].method_name,
+                    expected_hex=shape_hex[peer_id],
+                    kind="shape",
+                )
+                for peer_id in peers.get(site.bomb_id, ())
+            ]
+            if pin is not None:
+                guards.append(pin)
+            hot_pin = hot_pin_of.get(site.bomb_id)
+            if hot_pin is not None:
+                guards.append(
+                    MeshGuard(
+                        peer_id="",
+                        peer_method=hot_pin,
+                        expected_hex=hot_hex[hot_pin],
+                        kind="content",
+                    )
+                )
+            if not guards:
+                continue
+            plan = planner.plan_response(site.spec.response or ResponseKind.CRASH)
+            new_spec = dc_replace(
+                site.spec, mesh_guards=tuple(guards), mesh_response=plan
+            )
+            new_ciphertext = encrypt_payload(
+                build_payload_dex(new_spec), site.constant, site.salt
+            )
+            host = dex.get_method(site.method_name)
+            if not replace_const_value(host, site.ciphertext, new_ciphertext):
+                raise InstrumentationError(
+                    f"mesh: ciphertext for {site.bomb_id} not found "
+                    f"in {site.method_name}"
+                )
+            site.spec = new_spec
+            site.ciphertext = new_ciphertext
+            if report is not None:
+                bomb = report.bomb_by_id(site.bomb_id)
+                bomb.mesh_peers = tuple(peers.get(site.bomb_id, ()))
+                bomb.content_pin = ",".join(
+                    name
+                    for name in (
+                        pin.peer_method if pin is not None else "",
+                        hot_pin or "",
+                    )
+                    if name
+                )
+                bomb.response_plan = plan.describe()
+    return peers

@@ -11,7 +11,6 @@ Implemented so the attack suite can demonstrate all of that.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Tuple
 

@@ -25,13 +25,19 @@ constant can reconstruct the key.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import DetectionMethod, ResponseKind
 from repro.core.inner_triggers import InnerCondition
-from repro.core.responses import LEAK_FIELD, emit_response
+from repro.core.responses import (
+    LEAK_FIELD,
+    MESH_OK_FIELD,
+    TRIP_COUNT_FIELD,
+    ResponsePlan,
+    emit_planned_response,
+    emit_response,
+)
 from repro.core.weaving import EPILOGUE_LABEL
 from repro.crypto import AES128, Salt, derive_key
 from repro.dex.builder import MethodBuilder
@@ -66,6 +72,24 @@ class DetectionSpec:
     scan_expected_hex: str = ""
 
 
+@dataclass(frozen=True)
+class MeshGuard:
+    """One peer-integrity check emitted at the top of a payload.
+
+    ``kind`` selects the digest the guard compares: ``"shape"`` uses
+    ``bomb.shape_digest`` (bytes constants masked, so the digest is
+    invariant under the mesh's own ciphertext rewrites but changes when
+    a prologue branch is stripped or the method is deleted), and
+    ``"content"`` uses ``bomb.method_digest`` (the full instruction
+    hash, which additionally pins peer ciphertext against blanking).
+    """
+
+    peer_id: str
+    peer_method: str
+    expected_hex: str
+    kind: str = "shape"
+
+
 @dataclass
 class PayloadSpec:
     """Everything needed to synthesize one payload."""
@@ -89,6 +113,15 @@ class PayloadSpec:
     #: Payload-local register carried by each array slot (defaults to
     #: locals 1..slots in order).
     slot_locals: Optional[Tuple[int, ...]] = None
+    #: Cross-reference guards over peer bombs (repro.core.mesh); empty
+    #: for unmeshed protections, which therefore serialize byte-identically
+    #: to the pre-mesh pipeline.
+    mesh_guards: Tuple[MeshGuard, ...] = ()
+    #: Response envelope for a tripped mesh guard (CRASH when unset).
+    mesh_response: Optional[ResponsePlan] = None
+    #: Delay/gate envelope for the detection response; ``None`` keeps the
+    #: classic immediate :func:`emit_response` path.
+    response_plan: Optional[ResponsePlan] = None
 
     def resolved_locals(self) -> Tuple[int, Tuple[int, ...]]:
         count = self.local_count if self.local_count is not None else self.slots
@@ -131,6 +164,47 @@ def build_payload_dex(spec: PayloadSpec) -> DexFile:
     builder.const(index_reg, r)
     builder.aput(control_reg, 0, index_reg)
 
+    # -- mesh guards -------------------------------------------------------
+    # Peer-integrity checks run before the inner trigger: tampering with
+    # a peer bomb is proof of manipulation regardless of which device or
+    # environment this copy runs on.  Tampering is static, so a payload
+    # that once saw its whole mesh intact records that in a class static
+    # and skips re-verification -- keeping steady-state guard cost (and
+    # the Table 5 overhead delta) near zero.  A tripped run never sets
+    # the flag: delayed/gated responses keep counting trips.
+    if spec.mesh_guards:
+        verified = builder.reg()
+        builder.sget(verified, f"{spec.payload_class}.{MESH_OK_FIELD}")
+        guards_done = builder.fresh_label("mesh_done")
+        builder.if_nez(verified, guards_done)
+        clean_reg = builder.const_new(1)
+        guard_api = {"shape": "bomb.shape_digest", "content": "bomb.method_digest"}
+        for guard in spec.mesh_guards:
+            target = builder.const_new(guard.peer_method)
+            current = builder.reg()
+            builder.invoke(current, guard_api[guard.kind], (target,))
+            expected = builder.const_new(guard.expected_hex)
+            intact = builder.reg()
+            builder.invoke(intact, "java.str.equals", (current, expected))
+            ok = builder.fresh_label("mesh_ok")
+            builder.if_nez(intact, ok)
+            builder.const(clean_reg, 0)
+            id_reg = builder.const_new(spec.bomb_id)
+            trip_reg = builder.const_new("mesh_tripped")
+            builder.invoke(None, "bomb.mark", (id_reg, trip_reg))
+            emit_planned_response(
+                builder,
+                spec.mesh_response or ResponsePlan(kind=ResponseKind.CRASH),
+                spec.bomb_id,
+                spec.payload_class,
+                spec.app_name,
+                null_target=spec.null_target,
+            )
+            builder.label(ok)
+        builder.if_eqz(clean_reg, guards_done)
+        builder.sput(clean_reg, f"{spec.payload_class}.{MESH_OK_FIELD}")
+        builder.label(guards_done)
+
     # -- inner trigger + detection -----------------------------------------
     if spec.detection is not None:
         skip_detect = builder.fresh_label("skip_detect")
@@ -167,11 +241,27 @@ def build_payload_dex(spec: PayloadSpec) -> DexFile:
     method = builder.build()
     cls = DexClass(name=spec.payload_class)
     cls.add_field(DexField(name=LEAK_FIELD, static=True, initial=None))
+    if spec.mesh_guards:
+        cls.add_field(DexField(name=MESH_OK_FIELD, static=True, initial=0))
+    if _needs_trip_counter(spec):
+        cls.add_field(DexField(name=TRIP_COUNT_FIELD, static=True, initial=0))
     cls.add_method(method)
     dex = DexFile()
     dex.add_class(cls)
     dex.validate()
     return dex
+
+
+def _needs_trip_counter(spec: PayloadSpec) -> bool:
+    """Whether any emitted response plan reads the delay counter.
+
+    The static field is declared only when some plan is delayed, so
+    unmeshed payloads keep their exact pre-mesh serialization.
+    """
+    plans = [spec.response_plan]
+    if spec.mesh_guards:
+        plans.append(spec.mesh_response or ResponsePlan(kind=ResponseKind.CRASH))
+    return any(plan is not None and plan.delay_marks > 0 for plan in plans)
 
 
 def _emit_exit(
@@ -225,14 +315,24 @@ def _emit_detection(builder: MethodBuilder, spec: PayloadSpec) -> None:
     if spec.mute_flag is not None:
         flag_reg = builder.const_new(True)
         builder.sput(flag_reg, spec.mute_flag)
-    emit_response(
-        builder,
-        spec.response or ResponseKind.CRASH,
-        spec.bomb_id,
-        spec.payload_class,
-        spec.app_name,
-        null_target=spec.null_target,
-    )
+    if spec.response_plan is not None:
+        emit_planned_response(
+            builder,
+            spec.response_plan,
+            spec.bomb_id,
+            spec.payload_class,
+            spec.app_name,
+            null_target=spec.null_target,
+        )
+    else:
+        emit_response(
+            builder,
+            spec.response or ResponseKind.CRASH,
+            spec.bomb_id,
+            spec.payload_class,
+            spec.app_name,
+            null_target=spec.null_target,
+        )
     builder.label(genuine)
 
 

@@ -46,6 +46,12 @@ class Bomb:
     #: Caller registers travelling through the payload array, in slot
     #: order -- the liveness result ``live-set-mismatch`` re-checks.
     packed_regs: Tuple[int, ...] = ()
+    #: Mesh ground truth (repro.core.mesh); defaults describe an
+    #: unmeshed bomb so pre-mesh serialized reports keep loading.
+    prologue_shape: str = "classic"
+    mesh_peers: Tuple[str, ...] = ()     # peer bombs whose shape this payload guards
+    content_pin: str = ""                # host method whose full hash is pinned
+    response_plan: str = ""              # human-readable delay/gate envelope
 
     @property
     def is_real(self) -> bool:
@@ -73,6 +79,10 @@ class Bomb:
             "inner_probability": self.inner_probability,
             "const_erased": self.const_erased,
             "packed_regs": list(self.packed_regs),
+            "prologue_shape": self.prologue_shape,
+            "mesh_peers": list(self.mesh_peers),
+            "content_pin": self.content_pin,
+            "response_plan": self.response_plan,
         }
 
     @classmethod
@@ -96,6 +106,10 @@ class Bomb:
             inner_probability=data.get("inner_probability", 1.0),
             const_erased=data.get("const_erased", False),
             packed_regs=tuple(data.get("packed_regs", ())),
+            prologue_shape=data.get("prologue_shape", "classic"),
+            mesh_peers=tuple(data.get("mesh_peers", ())),
+            content_pin=data.get("content_pin", ""),
+            response_plan=data.get("response_plan", ""),
         )
 
 

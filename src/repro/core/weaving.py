@@ -86,6 +86,27 @@ def rename_labels(instr: Instr, mapping: Dict[str, str], exit_label: str) -> Ins
     return dc_replace(instr, **changed) if changed else instr
 
 
+def replace_const_value(method, old_value: bytes, new_value: bytes) -> bool:
+    """Swap one bytes CONST operand in ``method`` for ``new_value``.
+
+    The mesh's second weaving pass re-encrypts payloads after guard
+    injection and must splice the new ciphertext back into its host
+    method.  Sites are located by *value*, not recorded pc -- bottom-up
+    splicing during instrumentation shifted every pc, but ciphertexts
+    are unique (unique salt per bomb), so the value is an exact address.
+    """
+    for pc, instr in enumerate(method.instructions):
+        if (
+            instr.op is Op.CONST
+            and isinstance(instr.value, bytes)
+            and instr.value == old_value
+        ):
+            method.instructions[pc] = dc_replace(instr, value=new_value)
+            method.invalidate()
+            return True
+    return False
+
+
 def prepare_woven_body(
     region_instructions: Sequence[Instr],
     exit_label: str,

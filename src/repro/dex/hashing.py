@@ -5,17 +5,28 @@ the expected hash of a pinned method at instrumentation time, and the
 ``android.pm.get_method_hash`` framework call computes the live hash of
 the loaded method at runtime.  Both must agree bit-for-bit, so the
 logic lives here once.
+
+:func:`method_shape_hash` is the mesh-guard variant: it masks the
+*values* of bytes constants (bomb ciphertexts) so that two bombs can
+pin each other's host methods without a circular dependency -- bomb A's
+expected digest of B's method must not change when B's ciphertext is
+rebuilt to embed a digest of A.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
+
 from repro.crypto import sha1_hex
 from repro.dex.model import DexClass, DexFile, DexMethod
+from repro.dex.opcodes import Op
 from repro.dex.serializer import serialize_dex
 
+#: Stand-in value for masked bytes constants in :func:`method_shape_hash`.
+_MASKED_BYTES = b"\x00bytes\x00"
 
-def method_instruction_hash(method: DexMethod) -> str:
-    """SHA-1 hex over a canonical serialization of the method body."""
+
+def _method_hash(method: DexMethod, instructions) -> str:
     shell = DexFile()
     cls = DexClass(name="H")
     clone = DexMethod(
@@ -23,8 +34,32 @@ def method_instruction_hash(method: DexMethod) -> str:
         class_name="H",
         params=method.params,
         registers=method.registers,
-        instructions=list(method.instructions),
+        instructions=list(instructions),
     )
     cls.add_method(clone)
     shell.add_class(cls)
     return sha1_hex(serialize_dex(shell))
+
+
+def method_instruction_hash(method: DexMethod) -> str:
+    """SHA-1 hex over a canonical serialization of the method body."""
+    return _method_hash(method, method.instructions)
+
+
+def method_shape_hash(method: DexMethod) -> str:
+    """SHA-1 hex over the method body with bytes-CONST values masked.
+
+    Every structural property -- opcode sequence, registers, branch
+    targets, string/int constants -- is covered; only the *content* of
+    bytes constants (payload ciphertexts) is replaced by a fixed
+    placeholder.  Rewriting a ciphertext in place therefore preserves
+    the shape hash, while stripping a branch, NOPing a prologue or
+    removing the ciphertext constant entirely changes it.
+    """
+    masked = [
+        dc_replace(instr, value=_MASKED_BYTES)
+        if instr.op is Op.CONST and isinstance(instr.value, bytes)
+        else instr
+        for instr in method.instructions
+    ]
+    return _method_hash(method, masked)

@@ -35,6 +35,7 @@ class SessionResult:
     bombs_inner_met: Set[str] = field(default_factory=set)
     bombs_detected: Set[str] = field(default_factory=set)
     bombs_responded: Set[str] = field(default_factory=set)
+    bombs_mesh_tripped: Set[str] = field(default_factory=set)
     #: (clock_seconds, bomb_id) of first full trigger per bomb
     trigger_times: Dict[str, float] = field(default_factory=dict)
     #: sampled (elapsed_seconds, cumulative_fully_triggered) curve
@@ -141,6 +142,7 @@ class FuzzSession:
         result.bombs_inner_met |= registry.bombs_with("inner_met")
         result.bombs_detected |= registry.bombs_with("detected")
         result.bombs_responded |= registry.bombs_with("responded")
+        result.bombs_mesh_tripped |= registry.bombs_with("mesh_tripped")
         for (bomb_id, kind), clock in registry.first_by_bomb.items():
             if kind == "inner_met" and bomb_id not in result.trigger_times:
                 result.trigger_times[bomb_id] = clock

@@ -40,12 +40,15 @@ class LintContext:
     #: Profiled unique-value count per static field, for ``low-entropy-qc``.
     field_entropy: Optional[Dict[str, int]] = None
     min_qc_entropy: int = DEFAULT_MIN_QC_ENTROPY
+    #: ``alias -> canonical`` invoke-symbol table for meshed apps, so
+    #: site recovery sees through per-app alias symbols.
+    aliases: Optional[Dict[str, str]] = None
     _sites: Optional[List[BombSite]] = field(default=None, repr=False)
 
     def sites(self) -> List[BombSite]:
         """Recovered bomb sites, computed once per run."""
         if self._sites is None:
-            self._sites = bomb_sites(self.dex)
+            self._sites = bomb_sites(self.dex, aliases=self.aliases)
         return self._sites
 
     def sites_by_method(self) -> List[Tuple[DexMethod, List[BombSite]]]:
@@ -63,12 +66,14 @@ def run_lint(
     rules: Optional[Sequence[str]] = None,
     include_verifier: bool = True,
     min_qc_entropy: int = DEFAULT_MIN_QC_ENTROPY,
+    aliases: Optional[Dict[str, str]] = None,
 ) -> List[Diagnostic]:
     """Run the verifier and the (selected) lint rules over ``dex``.
 
     ``rules`` restricts the stealth pass to the given rule ids;
     ``include_verifier=False`` skips the bytecode verifier (useful when
-    the caller already ran it).
+    the caller already ran it).  ``aliases`` maps per-app alias invoke
+    symbols back to canonical ``bomb.*`` names for meshed apps.
     """
     # Imported at call time: the verifier itself emits Diagnostics, so a
     # module-level import would cycle through this package's __init__.
@@ -82,6 +87,7 @@ def run_lint(
         report=report,
         field_entropy=field_entropy,
         min_qc_entropy=min_qc_entropy,
+        aliases=aliases,
     )
     for rule in selected_rules(rules):
         diagnostics.extend(rule.check(context))

@@ -128,7 +128,17 @@ class BombSite:
         return self.declared_len - 2
 
 
-def _recover_site(method: DexMethod, hash_pc: int) -> BombSite:
+def _canonical(value, aliases: Optional[Dict[str, str]]):
+    """Resolve an invoke symbol through the app's alias table (mesh
+    ALIASED prologues route ``bomb.*`` through per-app names)."""
+    if aliases and isinstance(value, str):
+        return aliases.get(value, value)
+    return value
+
+
+def _recover_site(
+    method: DexMethod, hash_pc: int, aliases: Optional[Dict[str, str]] = None
+) -> BombSite:
     site = BombSite(method=method, hash_pc=hash_pc)
     instructions = method.instructions
     invoke = instructions[hash_pc]
@@ -148,9 +158,10 @@ def _recover_site(method: DexMethod, hash_pc: int) -> BombSite:
         instr = instructions[pc]
         if instr.op is not Op.INVOKE:
             continue
-        if instr.value == "bomb.hash":
+        name = _canonical(instr.value, aliases)
+        if name == "bomb.hash":
             break
-        if instr.value == "bomb.load_run" and len(instr.args) == 4:
+        if name == "bomb.load_run" and len(instr.args) == 4:
             site.load_run_pc = pc
             array_reg = instr.args[2]
             break
@@ -178,7 +189,10 @@ def _recover_site(method: DexMethod, hash_pc: int) -> BombSite:
     count = site.packed_count
     for pc in range(site.load_run_pc + 1, len(instructions)):
         instr = instructions[pc]
-        if instr.op is Op.INVOKE and instr.value in ("bomb.hash", "bomb.load_run"):
+        if instr.op is Op.INVOKE and _canonical(instr.value, aliases) in (
+            "bomb.hash",
+            "bomb.load_run",
+        ):
             break
         if instr.op in (Op.RETURN, Op.RETURN_VOID, Op.THROW):
             # The dispatch tail (ret_void / label / aget rv / ret) still
@@ -194,13 +208,21 @@ def _recover_site(method: DexMethod, hash_pc: int) -> BombSite:
     return site
 
 
-def bomb_sites(dex: DexFile) -> List[BombSite]:
-    """Every recoverable bomb site in ``dex``, in method/pc order."""
+def bomb_sites(
+    dex: DexFile, aliases: Optional[Dict[str, str]] = None
+) -> List[BombSite]:
+    """Every recoverable bomb site in ``dex``, in method/pc order.
+
+    ``aliases`` (``alias -> canonical``) lets the linter see through a
+    meshed app's per-app alias symbols; pass the protection pipeline's
+    table, or derive one from an installed APK's resources with
+    :func:`repro.vm.aliases.alias_table_from_resources`.
+    """
     sites: List[BombSite] = []
     for method in dex.iter_methods():
         for pc, instr in enumerate(method.instructions):
-            if instr.op is Op.INVOKE and instr.value == "bomb.hash":
-                sites.append(_recover_site(method, pc))
+            if instr.op is Op.INVOKE and _canonical(instr.value, aliases) == "bomb.hash":
+                sites.append(_recover_site(method, pc, aliases))
     return sites
 
 

@@ -1,0 +1,64 @@
+"""Per-app alias symbols for the bomb runtime helpers.
+
+The mesh planner's ALIASED prologue shape routes the trigger invokes
+(``bomb.hash``, ``bomb.derive``, ...) through per-app derived names so
+the Listing-3 anchor string stops being a constant across apps -- a
+single-pattern text match on ``bomb.hash`` no longer finds every site.
+
+The derivation is shared between the protector (which emits the aliased
+invokes) and the runtime (whose :class:`~repro.vm.framework.Framework`
+must resolve them back).  The only secret is a per-app *alias key*: a
+random hex string stored under an innocuous ``strings.xml`` entry, so
+it survives attacker repackaging (resources must be preserved or the
+app breaks) while naming nothing greppable.  Knowing the scheme without
+the key does not help: the alias of ``bomb.hash`` is
+``sha1(key | name)`` and therefore different in every app.
+
+Alias class names use a lowercase ``u<hex>`` prefix; app classes in the
+corpus are capitalized, so the interpreter's method-first dispatch never
+shadows an alias with a real app method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.crypto import sha1_hex
+
+#: strings.xml key carrying the per-app alias key.  Deliberately shaped
+#: like ordinary app configuration.
+ALIAS_RESOURCE_KEY = "sync_profile"
+
+#: Framework calls the ALIASED prologue shape may rename.  All of them
+#: appear only in bomb prologues (main dex); payload-internal calls stay
+#: canonical because payloads are ciphertext anyway.
+ALIASABLE_APIS = (
+    "bomb.hash",
+    "bomb.derive",
+    "bomb.decrypt",
+    "bomb.load_run",
+)
+
+
+def derive_alias(alias_key: str, name: str) -> str:
+    """The per-app alias symbol for framework call ``name``."""
+    digest = sha1_hex(f"{alias_key}|{name}".encode("utf-8"))
+    return f"u{digest[:6]}.a{digest[6:12]}"
+
+
+def alias_table(alias_key: str) -> Dict[str, str]:
+    """Mapping ``alias -> canonical name`` for one app's alias key."""
+    return {derive_alias(alias_key, name): name for name in ALIASABLE_APIS}
+
+
+def alias_table_from_resources(
+    resources: Optional[Mapping[str, str]],
+) -> Dict[str, str]:
+    """Alias table for an installed package's resources; empty when the
+    app ships no alias key (unmeshed apps, baselines)."""
+    if not resources:
+        return {}
+    alias_key = resources.get(ALIAS_RESOURCE_KEY)
+    if not alias_key:
+        return {}
+    return alias_table(str(alias_key))

@@ -17,7 +17,11 @@ boundary around bomb execution:
 * **deliberate responses are never contained**: a payload that recorded
   a ``responded`` marker before raising (crash / endless-loop
   responses) propagates exactly as without containment, so detection
-  semantics and the paper's tables are unchanged;
+  semantics and the paper's tables are unchanged.  This covers
+  mesh-tripped tamper responses too: a cross-reference guard that finds
+  a peer bomb tampered records ``mesh_tripped`` and ``responded`` and
+  then raises -- the responded delta makes the crash deliberate, so the
+  circuit breaker never quarantines a bomb for defending the mesh;
 * ``strict`` mode re-raises contained failures as
   :class:`repro.errors.PayloadError` (with bomb id and fault site) for
   debugging.

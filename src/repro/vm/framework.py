@@ -28,7 +28,7 @@ overhead experiment.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.chaos.faults import fault_point
 from repro.crypto import AES128, Salt, derive_key, encode_value, sha1_hex
@@ -55,6 +55,16 @@ CALL_COSTS: Dict[str, int] = {
     "bomb.load_run": 150,
     "bomb.sha1_hex": 80,
     "bomb.stego_extract": 20,
+    # Mesh guard digests: the listed cost is the cached-lookup price;
+    # the first computation per method adds _DIGEST_COST (method bodies
+    # are immutable at runtime, so memoizing is sound and keeps guard
+    # re-verification off the Table 5 overhead).
+    "bomb.shape_digest": 5,
+    "bomb.method_digest": 5,
+    # A probe reads a tracer flag or compares the handler table to its
+    # baseline -- cheap checks, priced accordingly (they run on every
+    # inner-trigger evaluation of a meshed bomb).
+    "bomb.probe": 3,
     "android.pm.get_method_hash": 120,
     "android.pm.get_public_key": 30,
     "android.pm.get_manifest_digest": 30,
@@ -64,6 +74,9 @@ CALL_COSTS: Dict[str, int] = {
 }
 _DEFAULT_COST = 2
 
+#: Extra cost of actually hashing a method body on a digest-cache miss.
+_DIGEST_COST = 115
+
 
 class Framework:
     """Dispatcher for framework API calls."""
@@ -72,9 +85,28 @@ class Framework:
         self._runtime = runtime
         self._handlers: Dict[str, Callable] = {}
         self._register_all()
+        # Per-app alias symbols (mesh ALIASED prologue shape).  The
+        # alias key rides in the installed package's resources, so a
+        # repackaged copy keeps resolving -- only a copy that *removed*
+        # resources would break, and that copy does not run at all.
+        package = getattr(runtime, "package", None)
+        resources = getattr(package, "resources", None) if package else None
+        from repro.vm.aliases import alias_table_from_resources
+
+        self._aliases: Dict[str, str] = alias_table_from_resources(resources)
+        # Snapshot for the anti-hook probe: any later handler swap or
+        # addition (API interception) flips ``bomb.probe("hooks")``.
+        self._baseline_handlers: Dict[str, Callable] = dict(self._handlers)
+        # Mesh guard digests, memoized per (kind, method): app method
+        # bodies never change at runtime, so every guard re-verification
+        # after the first is a cheap lookup.
+        self._digest_cache: Dict[Tuple[str, str], str] = {}
 
     def call(self, name: str, args: List, budget: List[int]):
         handler = self._handlers.get(name)
+        if handler is None and name in self._aliases:
+            name = self._aliases[name]
+            handler = self._handlers.get(name)
         if handler is None:
             raise VMCrash(f"unknown method {name!r}")
         fault_point("vm.framework", device=self._runtime.device)
@@ -82,7 +114,7 @@ class Framework:
         return handler(args, budget)
 
     def knows(self, name: str) -> bool:
-        return name in self._handlers
+        return name in self._handlers or name in self._aliases
 
     def _register_all(self) -> None:
         register = self._handlers.__setitem__
@@ -127,6 +159,9 @@ class Framework:
         register("bomb.decrypt", self._bomb_decrypt)
         register("bomb.load_run", self._bomb_load_run)
         register("bomb.mark", self._bomb_mark)
+        register("bomb.shape_digest", self._bomb_shape_digest)
+        register("bomb.method_digest", self._bomb_method_digest)
+        register("bomb.probe", self._bomb_probe)
 
     # ------------------------------------------------------------------
     # android.*
@@ -498,6 +533,77 @@ class Framework:
         if method is None:
             raise VMCrash(f"get_method_hash: no method {name!r}")
         return method_instruction_hash(method)
+
+    def _bomb_shape_digest(self, args, budget):
+        """Bytes-masked digest of a loaded method (mesh cross-guards).
+
+        Mesh guards live inside encrypted payloads and pin the *shape*
+        of a peer bomb's host method -- opcodes, branches, string/int
+        constants -- while ignoring bytes-constant contents, so peer
+        ciphertext rewrites at protect time do not create a circular
+        dependency.  A missing method returns the empty string, which
+        matches no expected digest: deleting the peer's method trips
+        the guard rather than crashing it.
+        """
+        from repro.dex.hashing import method_shape_hash
+
+        (name,) = args
+        key = ("shape", str(name))
+        cached = self._digest_cache.get(key)
+        if cached is not None:
+            return cached
+        self._runtime.cost_units += _DIGEST_COST
+        method = self._runtime.find_method(str(name))
+        digest = "" if method is None else method_shape_hash(method)
+        self._digest_cache[key] = digest
+        return digest
+
+    def _bomb_method_digest(self, args, budget):
+        """Full-content digest of a loaded method (mesh content pins).
+
+        Same as ``android.pm.get_method_hash`` but tolerant of a
+        missing method (returns ``""`` so the guard compare fails and
+        trips instead of crashing inside the payload).  Content pins
+        catch ciphertext *blanking*, which the shape digest by design
+        does not see.
+        """
+        from repro.dex.hashing import method_instruction_hash
+
+        (name,) = args
+        key = ("content", str(name))
+        cached = self._digest_cache.get(key)
+        if cached is not None:
+            return cached
+        self._runtime.cost_units += _DIGEST_COST
+        method = self._runtime.find_method(str(name))
+        digest = "" if method is None else method_instruction_hash(method)
+        self._digest_cache[key] = digest
+        return digest
+
+    def _bomb_probe(self, args, budget):
+        """Anti-analysis probes usable as inner triggers.
+
+        ``debugger``: a tracer (the :class:`repro.vm.debugger.Debugger`
+        attack surface) is attached to this runtime.
+        ``hooks``: the framework handler table differs from its
+        post-install baseline -- the vtable-hijack / API-interception
+        surface of :mod:`repro.attacks.hooking`.
+
+        Probes return environment *facts*; the emitted trigger code
+        OR-combines them with the probabilistic inner condition, so a
+        probed bomb evaluates detection whenever analysis tooling is
+        present, regardless of the device-population draw.
+        """
+        (kind,) = args
+        runtime = self._runtime
+        if kind == "debugger":
+            return getattr(runtime, "tracer", None) is not None
+        if kind == "hooks":
+            base = self._baseline_handlers
+            if set(self._handlers) != set(base):
+                return True
+            return any(self._handlers[name] is not base[name] for name in base)
+        raise VMCrash(f"unknown probe kind {kind!r}")
 
     def _bomb_mark(self, args, budget):
         """Measurement marker emitted by generated payload code."""

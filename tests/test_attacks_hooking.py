@@ -33,7 +33,7 @@ def identity_only_protection(small_apk, developer_key):
 
 def test_identity_spoof_blinds_identity_bombs(identity_only_protection):
     protected, report = identity_only_protection
-    result = VTableHijackAttack(seed=5, sessions=5, events=500).run(protected, report)
+    result = VTableHijackAttack(seed=5, sessions=5, events=1000).run(protected, report)
     # With getPublicKey and the digests spoofed, identity bombs see a
     # genuine app: the attack wins against identity-only protection.
     assert result.details["identity_spoof_held"]
@@ -42,7 +42,7 @@ def test_identity_spoof_blinds_identity_bombs(identity_only_protection):
 
 def test_code_scan_survives_identity_spoof(scan_heavy_protection):
     protected, report = scan_heavy_protection
-    result = VTableHijackAttack(seed=5, sessions=5, events=500).run(protected, report)
+    result = VTableHijackAttack(seed=5, sessions=5, events=1000).run(protected, report)
     assert result.details["code_scan_caught_it"], result.details
     assert not result.defeated_defense
 

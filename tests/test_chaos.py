@@ -206,6 +206,18 @@ class TestChaosHarness:
         assert payload["digest"] == report.digest()
         assert "replay digest" in report.summary()
 
+    def test_meshed_protection_holds_invariants(self):
+        """The fault matrix over a *meshed* protection: genuine runs must
+        stay transparent and never trip a mesh guard (peers and pins are
+        intact; a contained decrypt fault is not tampering)."""
+        config = ChaosConfig(
+            seed=11, trials=3, events=300, scale=0.3, devices=2,
+            profiling_events=200, mesh=True,
+        )
+        report = run_chaos(config)
+        assert report.ok, "\n".join(report.violations)
+        assert report.baseline_transparent
+
 
 class TestChaosCli:
     def test_chaos_smoke_exits_ok(self, capsys):

@@ -299,6 +299,122 @@ class TestDeliberateResponsesPropagate:
         assert "payload_error" not in runtime.bombs.counts["br"]
 
 
+class TestMeshTrippedResponses:
+    """Mesh guards are deliberate tamper responses: the responded-delta
+    check lets them propagate, and the breaker never quarantines a bomb
+    for defending the mesh."""
+
+    def _meshed_blob(self, plan=None):
+        from repro.core.config import ResponseKind
+        from repro.core.payloads import MeshGuard
+        from repro.core.responses import ResponsePlan
+
+        # The guard pins a method that does not exist: bomb.shape_digest
+        # returns "" for it, the compare fails, the guard trips -- the
+        # same path a deleted peer bomb takes.
+        spec = PayloadSpec(
+            bomb_id="bm", payload_class="Bomb$bm", slots=0, app_name="A",
+            mesh_guards=(
+                MeshGuard(
+                    peer_id="bp",
+                    peer_method="A.deleted_peer",
+                    expected_hex="cc" * 20,
+                    kind="shape",
+                ),
+            ),
+            mesh_response=plan or ResponsePlan(kind=ResponseKind.CRASH),
+        )
+        return serialize_dex(build_payload_dex(spec)), spec.entry
+
+    def test_mesh_trip_propagates_through_containment(self):
+        runtime = installed_runtime(ContainmentPolicy())
+        blob, entry = self._meshed_blob()
+        with pytest.raises(VMCrash, match="repackaging response"):
+            runtime.framework_call(
+                "bomb.load_run", [blob, entry, [None, None], "bm"], [BUDGET]
+            )
+        counts = runtime.bombs.counts["bm"]
+        assert counts["mesh_tripped"] == 1
+        assert counts["responded"] == 1
+        # Deliberate, not a fault: no payload_error, no breaker damage.
+        assert "payload_error" not in counts
+        assert not runtime.breaker.is_quarantined("bm")
+        assert runtime.breaker.consecutive_failures("bm") == 0
+
+    def test_repeated_trips_never_quarantine(self):
+        runtime = installed_runtime(
+            ContainmentPolicy(max_consecutive_failures=2)
+        )
+        blob, entry = self._meshed_blob()
+        for _ in range(4):
+            with pytest.raises(VMCrash):
+                runtime.framework_call(
+                    "bomb.load_run", [blob, entry, [None, None], "bm"], [BUDGET]
+                )
+        counts = runtime.bombs.counts["bm"]
+        assert counts["mesh_tripped"] == 4
+        assert counts["responded"] == 4
+        assert "quarantined" not in counts
+        assert not runtime.breaker.is_quarantined("bm")
+
+    def test_delayed_mesh_response_counts_trips_first(self):
+        from repro.core.config import ResponseKind
+        from repro.core.responses import ResponsePlan
+
+        runtime = installed_runtime(ContainmentPolicy())
+        blob, entry = self._meshed_blob(
+            ResponsePlan(kind=ResponseKind.CRASH, delay_marks=2)
+        )
+        # First trip only increments the counter: no response yet, and
+        # the clean completion must not look like a payload fault.
+        result = runtime.framework_call(
+            "bomb.load_run", [blob, entry, [None, None], "bm"], [BUDGET]
+        )
+        assert result[-2] == CONTROL_FALLTHROUGH
+        counts = runtime.bombs.counts["bm"]
+        assert counts["mesh_tripped"] == 1
+        assert "responded" not in counts
+        assert "payload_error" not in counts
+        # Second trip reaches the mark threshold and fires.
+        with pytest.raises(VMCrash, match="repackaging response"):
+            runtime.framework_call(
+                "bomb.load_run", [blob, entry, [None, None], "bm"], [BUDGET]
+            )
+        counts = runtime.bombs.counts["bm"]
+        assert counts["mesh_tripped"] == 2
+        assert counts["responded"] == 1
+        assert not runtime.breaker.is_quarantined("bm")
+
+    def test_env_gated_response_holds_fire_off_cohort(self):
+        from repro.core.config import ResponseKind
+        from repro.core.responses import ResponsePlan
+
+        runtime = installed_runtime(ContainmentPolicy())
+        value = runtime.framework_call(
+            "android.env.get", ["build.serial_low"], [BUDGET]
+        )
+        off_cohort = (value % 2) ^ 1
+        blob, entry = self._meshed_blob(
+            ResponsePlan(
+                kind=ResponseKind.CRASH,
+                gate_env="build.serial_low",
+                gate_modulus=2,
+                gate_residue=off_cohort,
+            )
+        )
+        result = runtime.framework_call(
+            "bomb.load_run", [blob, entry, [None, None], "bm"], [BUDGET]
+        )
+        assert result[-2] == CONTROL_FALLTHROUGH
+        counts = runtime.bombs.counts["bm"]
+        # The trip is recorded for telemetry, but this device's identity
+        # is outside the response cohort: silent, clean, unquarantined.
+        assert counts["mesh_tripped"] == 1
+        assert "responded" not in counts
+        assert "payload_error" not in counts
+        assert not runtime.breaker.is_quarantined("bm")
+
+
 class TestTransparencyEndToEnd:
     def test_contained_faults_keep_host_output_identical(self):
         # Payload-only bombs (weave off): fall-through IS the original
