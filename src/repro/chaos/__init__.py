@@ -21,6 +21,13 @@ work demands -- under a hostile, partially broken environment:
              WAL tail included), recovers it from disk, and checks
              exactly-once invariants against an uninterrupted run
 
+``failover`` the ``repro chaos --failover`` driver: kills (or
+             partitions) the *leader of a replicated cluster* at seeded
+             offsets and lets the heartbeat supervisor heal it --
+             automatic promotion, epoch fencing of stale leaders,
+             client re-routing -- then checks the verdict math against
+             an uninterrupted run
+
 ``faults`` is import-light on purpose (the VM and reporting layers call
 its ``fault_point`` hook); the harness pulls in the whole pipeline and
 is therefore loaded lazily via module ``__getattr__``.
@@ -58,6 +65,12 @@ __all__ = [
     "CrashRestartRunner",
     "CrashTrialRecord",
     "run_crash_restart",
+    "FAILOVER_SCENARIOS",
+    "FailoverChaosConfig",
+    "FailoverChaosReport",
+    "FailoverChaosRunner",
+    "FailoverTrialRecord",
+    "run_failover_chaos",
 ]
 
 _HARNESS_NAMES = {
@@ -69,11 +82,17 @@ _CRASH_NAMES = {
     "CrashTrialRecord", "run_crash_restart",
 }
 
+_FAILOVER_NAMES = {
+    "FAILOVER_SCENARIOS", "FailoverChaosConfig", "FailoverChaosReport",
+    "FailoverChaosRunner", "FailoverTrialRecord", "run_failover_chaos",
+}
+
 
 def __getattr__(name: str):
     # Lazy: harness imports the VM, which imports repro.chaos.faults --
     # resolving it here at first use keeps that edge acyclic.  The
-    # crash-restart driver pulls in the reporting stack the same way.
+    # crash-restart and failover drivers pull in the reporting stack
+    # (and its socket layer) the same way.
     if name in _HARNESS_NAMES:
         from repro.chaos import harness
 
@@ -82,4 +101,8 @@ def __getattr__(name: str):
         from repro.chaos import crash
 
         return getattr(crash, name)
+    if name in _FAILOVER_NAMES:
+        from repro.chaos import failover
+
+        return getattr(failover, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -59,6 +59,9 @@ FAULT_SITES: Dict[str, Tuple[str, str]] = {
     "net.partition": ("reporting.net", "client TCP connection to the ingest service"),
     "net.slow_link": ("reporting.net", "client link latency (virtual clock skew)"),
     "net.failover": ("reporting.net", "leader ingest service death mid-stream"),
+    "net.heartbeat_loss": ("reporting.net", "supervisor health probe eaten in transit"),
+    "net.stale_leader": ("reporting.net", "fence request dropped at the demoted leader"),
+    "net.supervisor_crash": ("reporting.net", "supervisor process dies mid-tick and restarts"),
 }
 
 

@@ -21,11 +21,14 @@
                               [--replication-listen 127.0.0.1:7789]
     python -m repro replica   --data-dir replica/ --leader 127.0.0.1:7789 \
                               [--promote]
+    python -m repro supervise --data-dir standby/ --leader 127.0.0.1:7788 \
+                              --replicate-from 127.0.0.1:7789
     python -m repro recover   --data-dir state/
     python -m repro fleet     --in pirated.apk --original protected.apk \
                               --devices 1000000 [--transport tcp]
     python -m repro chaos     --seed 7 --trials 25 [--verify-replay]
     python -m repro chaos     --crash-restart --seed 11 [--reports 48]
+    python -m repro chaos     --failover --seed 17 [--reports 30]
 
 APK files on disk are the serialized entry container (a simple binary
 framing of the entries, manifest and certificate).
@@ -34,6 +37,7 @@ framing of the entries, manifest and certificate).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -394,6 +398,28 @@ class _ShutdownRequested(Exception):
     """SIGINT/SIGTERM during file ingestion: finish cleanly, exit 0."""
 
 
+def _make_emitter(data_dir, name):
+    """print() that also appends to ``<data_dir>/<name>``.
+
+    Long-running cluster processes (serve-reports, replica, supervise)
+    mirror their status lines into a log under their own ``--data-dir``
+    -- never into the invoking directory -- so a three-process demo
+    leaves its evidence next to its WALs.
+    """
+    if data_dir is None:
+        def emit(line: str) -> None:
+            print(line, flush=True)
+        return emit
+    os.makedirs(data_dir, exist_ok=True)
+    path = os.path.join(data_dir, name)
+
+    def emit(line: str) -> None:
+        print(line, flush=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+    return emit
+
+
 def _cmd_serve_reports(args) -> int:
     """Ingest signed detection reports through ReportServer.
 
@@ -442,9 +468,10 @@ def _cmd_serve_reports(args) -> int:
     if args.app not in server.apps:
         server.register_app(args.app, original_key)
 
+    emit = _make_emitter(args.data_dir, "serve-reports.log")
     conn_stats = []
     if args.listen is not None:
-        conn_stats = _serve_listen(args, server)
+        conn_stats = _serve_listen(args, server, emit)
     else:
         def _request_shutdown(signum, frame):
             raise _ShutdownRequested()
@@ -463,8 +490,7 @@ def _cmd_serve_reports(args) -> int:
                 if server.queue_depth() >= args.process_every:
                     server.process()
         except _ShutdownRequested:
-            print("interrupted: draining queues, compacting the WAL...",
-                  flush=True)
+            emit("interrupted: draining queues, compacting the WAL...")
         finally:
             if handle is not sys.stdin:
                 handle.close()
@@ -493,10 +519,10 @@ def _cmd_serve_reports(args) -> int:
         for label, name in tally_names.items()
         if metrics.get(name, 0)
     }
-    print("ingested: " + (", ".join(
+    emit("ingested: " + (", ".join(
         f"{k}={v}" for k, v in tallies.items()) or "nothing"))
-    print(f"verdict for {args.app}: {verdict.value}"
-          + (f" (key {offender})" if offender else ""))
+    emit(f"verdict for {args.app}: {verdict.value}"
+         + (f" (key {offender})" if offender else ""))
     if conn_stats:
         print("\nconnections:")
         for stats in conn_stats:
@@ -506,7 +532,7 @@ def _cmd_serve_reports(args) -> int:
     return 0
 
 
-def _serve_listen(args, server):
+def _serve_listen(args, server, emit):
     """Run the asyncio ingest service until SIGINT/SIGTERM; returns the
     per-connection stats (the server is drained but left open)."""
     import asyncio
@@ -529,10 +555,10 @@ def _serve_listen(args, server):
         await service.start()
         ihost, iport = service.address
         # Parseable by scripts (CI smoke, tests) that bind port 0.
-        print(f"listening on {ihost}:{iport}", flush=True)
+        emit(f"listening on {ihost}:{iport}")
         if replication is not None:
             rhost, rport = service.replication_address
-            print(f"replication on {rhost}:{rport}", flush=True)
+            emit(f"replication on {rhost}:{rport}")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -541,8 +567,7 @@ def _serve_listen(args, server):
             except NotImplementedError:  # pragma: no cover - non-posix
                 signal.signal(signum, lambda *_: stop.set())
         await stop.wait()
-        print("shutting down: draining queues, flushing followers...",
-              flush=True)
+        emit("shutting down: draining queues, flushing followers...")
         await service.stop()
         return service
 
@@ -557,6 +582,7 @@ def _cmd_replica(args) -> int:
     from repro.reporting import TakedownPolicy
     from repro.reporting.net import ReplicaFollower
 
+    emit = _make_emitter(args.data_dir, "replica.log")
     follower = ReplicaFollower(
         args.data_dir, args.leader, expect_shards=args.shards
     )
@@ -567,14 +593,13 @@ def _cmd_replica(args) -> int:
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, _request_stop)
 
-    print(f"following {args.leader[0]}:{args.leader[1]} into {args.data_dir}",
-          flush=True)
+    emit(f"following {args.leader[0]}:{args.leader[1]} into {args.data_dir}")
     follower.run()  # blocks until leader EOF or a signal
     if follower.error is not None:
         print(f"error: replication failed: {follower.error}", file=sys.stderr)
         return EXIT_FAILURE
-    print(f"applied: {follower.applied} update(s) "
-          f"({follower.snapshots} snapshot(s)) from the leader", flush=True)
+    emit(f"applied: {follower.applied} update(s) "
+         f"({follower.snapshots} snapshot(s)) from the leader")
 
     if not args.promote:
         return 0
@@ -590,12 +615,102 @@ def _cmd_replica(args) -> int:
     )
     server.process()
     replayed = int(server.metrics.counter("wal.replayed").value)
-    print(f"promoted: {len(list(server.apps))} app(s), "
-          f"{replayed} shipped WAL record(s) replayed")
+    emit(f"promoted: {len(list(server.apps))} app(s), "
+         f"{replayed} shipped WAL record(s) replayed")
     for app_name, (verdict, offender) in sorted(server.verdicts().items()):
-        print(f"verdict for {app_name}: {verdict.value}"
-              + (f" (key {offender})" if offender else ""))
+        emit(f"verdict for {app_name}: {verdict.value}"
+             + (f" (key {offender})" if offender else ""))
     server.close()
+    return 0
+
+
+def _cmd_supervise(args) -> int:
+    """Warm standby plus supervisor in one process.
+
+    Follows the leader's WAL into ``--data-dir`` while probing its
+    ingest port; when ``--miss-threshold`` consecutive probes fail, the
+    follower is promoted automatically (epoch bump, fence, new ingest
+    service) and the promoted endpoint is printed in a parseable line::
+
+        promoted: epoch 1 on 127.0.0.1:45123
+
+    SIGINT/SIGTERM stop supervision gracefully: a promoted server
+    drains, prints its verdicts and compacts its WAL before exit.
+    """
+    import signal
+    import threading
+
+    from repro.reporting import TakedownPolicy
+    from repro.reporting.net import ClusterSupervisor, ReplicaFollower
+
+    emit = _make_emitter(args.data_dir, "supervise.log")
+    follower = ReplicaFollower(
+        args.data_dir, args.replicate_from, expect_shards=args.shards
+    ).start()
+    emit(f"following {args.replicate_from[0]}:{args.replicate_from[1]} "
+         f"into {args.data_dir}")
+    if not follower.wait_applied(1, timeout=30):
+        print("error: never received the leader's bootstrap snapshot"
+              + (f": {follower.error}" if follower.error else ""),
+              file=sys.stderr)
+        follower.stop()
+        return EXIT_FAILURE
+
+    promote_host, promote_port = args.promote_listen
+    supervisor = ClusterSupervisor(
+        args.leader,
+        [follower],
+        server_kwargs=dict(
+            policy=TakedownPolicy(
+                distinct_devices=args.threshold, window_seconds=args.window
+            ),
+            snapshot_every=args.snapshot_every,
+        ),
+        miss_threshold=args.miss_threshold,
+        interval=args.interval,
+        probe_timeout=args.probe_timeout,
+        promote_host=promote_host,
+        promote_port=promote_port,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    supervisor.start()
+    emit(f"supervising {args.leader[0]}:{args.leader[1]} "
+         f"(miss threshold {args.miss_threshold}, interval {args.interval}s)")
+
+    announced = False
+    while not stop.is_set():
+        if supervisor.failovers and not announced:
+            event = supervisor.event
+            phost, pport = event.endpoint
+            emit(f"promoted: epoch {event.epoch} on {phost}:{pport} "
+                 f"(detected {event.detection_seconds:.2f}s, "
+                 f"promoted {event.promotion_seconds:.2f}s, "
+                 f"{event.follower_applied} applied)")
+            announced = True
+        if supervisor.error is not None:
+            print(f"error: supervisor failed: {supervisor.error}",
+                  file=sys.stderr)
+            supervisor.stop()
+            follower.stop()
+            return EXIT_FAILURE
+        stop.wait(0.1)
+
+    supervisor.stop()
+    if supervisor.promoted_handle is not None:
+        verdicts = supervisor.promoted_handle.call(
+            lambda s: (s.process(), s.verdicts())[1]
+        )
+        for app_name, (verdict, offender) in sorted(verdicts.items()):
+            emit(f"verdict for {app_name}: {verdict.value}"
+                 + (f" (key {offender})" if offender else ""))
+        supervisor.promoted_handle.stop()
+        supervisor.promoted_server.close()
+    else:
+        follower.stop()
+        emit(f"applied: {follower.applied} update(s) from the leader; "
+             "no failover needed")
     return 0
 
 
@@ -694,6 +809,10 @@ def _cmd_chaos(args) -> int:
     """Run the seeded fault matrix and check containment invariants."""
     import json
 
+    if args.crash_restart and args.failover:
+        print("error: --crash-restart and --failover are mutually exclusive",
+              file=sys.stderr)
+        return EXIT_USAGE
     if args.crash_restart:
         from repro.chaos import CrashRestartConfig, run_crash_restart
 
@@ -704,6 +823,16 @@ def _cmd_chaos(args) -> int:
         )
         report = run_crash_restart(config)
         runner = run_crash_restart
+    elif args.failover:
+        from repro.chaos import FailoverChaosConfig, run_failover_chaos
+
+        config = FailoverChaosConfig(
+            seed=args.seed,
+            reports=args.reports,
+            data_dir=args.data_dir,
+        )
+        report = run_failover_chaos(config)
+        runner = run_failover_chaos
     else:
         from repro.chaos import ChaosConfig, run_chaos
 
@@ -905,6 +1034,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "its verdicts (failover)")
     replica.set_defaults(func=_cmd_replica)
 
+    supervise = sub.add_parser(
+        "supervise",
+        help="warm standby + supervisor: follow the leader's WAL, probe "
+             "its health, promote automatically when it dies",
+    )
+    supervise.add_argument("--data-dir", required=True,
+                           help="directory the shipped WAL + snapshots land "
+                                "in (and supervise.log)")
+    supervise.add_argument("--leader", type=_parse_hostport, required=True,
+                           metavar="HOST:PORT",
+                           help="the leader's ingest (--listen) address, "
+                                "probed for health and fenced on failover")
+    supervise.add_argument("--replicate-from", type=_parse_hostport,
+                           required=True, metavar="HOST:PORT",
+                           help="the leader's --replication-listen address")
+    supervise.add_argument("--shards", type=int, default=None,
+                           help="expected leader shard count (default: "
+                                "accept whatever the leader announces)")
+    supervise.add_argument("--threshold", type=int, default=3)
+    supervise.add_argument("--window", type=float, default=3600.0)
+    supervise.add_argument("--snapshot-every", type=int, default=1024)
+    supervise.add_argument("--miss-threshold", type=int, default=3,
+                           help="consecutive failed probes before the "
+                                "leader is declared dead")
+    supervise.add_argument("--interval", type=float, default=0.5,
+                           help="seconds between health probes")
+    supervise.add_argument("--probe-timeout", type=float, default=2.0)
+    supervise.add_argument("--promote-listen", type=_parse_hostport,
+                           default=("127.0.0.1", 0), metavar="HOST:PORT",
+                           help="where a promoted server serves ingest "
+                                "(default 127.0.0.1:0, an ephemeral port)")
+    supervise.set_defaults(func=_cmd_supervise)
+
     recover = sub.add_parser(
         "recover",
         help="rebuild a crashed report server from its WAL + snapshot",
@@ -970,11 +1132,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-restart", action="store_true",
                        help="run the kill-and-recover matrix against the "
                             "durable report server instead of the VM matrix")
+    chaos.add_argument("--failover", action="store_true",
+                       help="run the kill-the-leader matrix against the "
+                            "replicated cluster: heartbeat-supervised "
+                            "promotion, epoch fencing, client re-routing")
     chaos.add_argument("--reports", type=int, default=48,
-                       help="stream length per crash-restart trial")
+                       help="stream length per crash-restart/failover trial")
     chaos.add_argument("--data-dir", default=None,
-                       help="parent directory for crash-restart trial state "
-                            "(default: a temp dir, removed afterwards)")
+                       help="parent directory for crash-restart/failover "
+                            "trial state (default: a temp dir, removed "
+                            "afterwards)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     chaos.add_argument("--verify-replay", action="store_true",

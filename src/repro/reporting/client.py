@@ -17,6 +17,16 @@ is sometimes unreachable.  ``ReportClient`` makes that channel honest:
   **offline spool**, flushed on the next opportunity (``flush()``);
   spool overflow drops the oldest report and counts it.
 
+**Failover is invisible here by design.**  Cluster redirects
+(``NOT_LEADER`` from a fenced stale leader) are followed *inside* the
+transport under its own ``redirect_budget`` -- one ``deliver()`` attempt
+either lands on the current leader or raises ``TransportError``.  The
+client's ``max_attempts``/backoff budget therefore only pays for real
+unavailability, never for re-routing, and a spooled backlog drains
+through a leader change in a single ``flush()`` pass with each report
+delivered exactly once (the promoted leader's recovered dedup window
+rejects anything the old leader already accepted).
+
 The client also terminates the in-VM text channel: the runtime's
 ``android.net.report`` handler forwards the structured payload string
 to :meth:`send_text`, which parses it into a wire report.
@@ -64,6 +74,9 @@ class ReportClient:
     ) -> None:
         if not 0.0 <= jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        #: Public so callers can read transport-side failover telemetry
+        #: (``transport.redirects``, ``transport.last_epoch`` on TCP).
+        self.transport = transport
         self._transport = transport
         self._key = attestation_key
         self.device_id = device_id

@@ -65,10 +65,13 @@ from repro.reporting.wire import (
 RECORD_REPORT = 1
 RECORD_TAKEDOWN = 2
 RECORD_REGISTER = 3
+RECORD_EPOCH = 4
 
-#: Snapshot file framing.
+#: Snapshot file framing.  Version 2 adds the leadership epoch after the
+#: trusted nonce; version-1 images (pre-supervision) still decode with
+#: ``epoch == 0``.
 SNAPSHOT_MAGIC = b"RSNP"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 SNAPSHOT_NAME = "snapshot.bin"
 
 #: ``>I length | >I crc32`` record header.
@@ -116,11 +119,17 @@ def encode_register_record(app_name: str, original_key_hex: str) -> bytes:
     )
 
 
+def encode_epoch_record(epoch: int) -> bytes:
+    """Journal payload for one leadership-epoch bump (meta WAL)."""
+    return struct.pack(">BQ", RECORD_EPOCH, epoch & 0xFFFFFFFFFFFFFFFF)
+
+
 def decode_record(payload: bytes) -> Tuple:
     """Inverse of the ``encode_*_record`` family.
 
     Returns one of ``("report", app, report, trusted)``,
-    ``("takedown", app, key, ts)``, ``("register", app, key)``.
+    ``("takedown", app, key, ts)``, ``("register", app, key)``,
+    ``("epoch", epoch)``.
     """
     if not payload:
         raise WireError("empty WAL record")
@@ -144,6 +153,11 @@ def decode_record(payload: bytes) -> Tuple:
         if offset != len(payload):
             raise WireError("malformed WAL register record")
         return ("register", app_name, key_hex)
+    if kind == RECORD_EPOCH:
+        if len(payload) != 9:
+            raise WireError("malformed WAL epoch record")
+        (epoch,) = struct.unpack_from(">Q", payload, 1)
+        return ("epoch", epoch)
     raise WireError(f"unknown WAL record type {kind}")
 
 
@@ -175,6 +189,7 @@ def encode_snapshot(state: dict) -> bytes:
         struct.pack(">B", SNAPSHOT_VERSION),
         struct.pack(">d", state["clock"]),
         struct.pack(">Q", state["trusted_nonce"]),
+        struct.pack(">Q", state.get("epoch", 0)),
         struct.pack(">H", len(state["apps"])),
     ]
     for app in state["apps"]:
@@ -215,13 +230,18 @@ def decode_snapshot(payload: bytes) -> dict:
 
 
 def _decode_snapshot(payload: bytes) -> dict:
-    if not payload or payload[0] != SNAPSHOT_VERSION:
+    if not payload or payload[0] not in (1, SNAPSHOT_VERSION):
         raise WireError("unsupported snapshot version")
+    version = payload[0]
     offset = 1
     (clock,) = struct.unpack_from(">d", payload, offset)
     offset += 8
     (trusted_nonce,) = struct.unpack_from(">Q", payload, offset)
     offset += 8
+    epoch = 0
+    if version >= 2:
+        (epoch,) = struct.unpack_from(">Q", payload, offset)
+        offset += 8
     (napps,) = struct.unpack_from(">H", payload, offset)
     offset += 2
     apps = []
@@ -285,7 +305,12 @@ def _decode_snapshot(payload: bytes) -> dict:
         )
     if offset != len(payload):
         raise WireError("trailing bytes after snapshot payload")
-    return {"clock": clock, "trusted_nonce": trusted_nonce, "apps": apps}
+    return {
+        "clock": clock,
+        "trusted_nonce": trusted_nonce,
+        "epoch": epoch,
+        "apps": apps,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -418,6 +443,9 @@ class DurabilityLog:
         return self._append(
             self._meta, encode_register_record(app_name, original_key_hex), -1
         )
+
+    def append_epoch(self, epoch: int) -> bool:
+        return self._append(self._meta, encode_epoch_record(epoch), -1)
 
     def _append(
         self, wal: Optional[_WalFile], payload: bytes, index: int = -1

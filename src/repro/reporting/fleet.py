@@ -144,6 +144,10 @@ class FleetConfig:
     failover_after_batch: Optional[int] = None  # kill the leader service at
                                                 # this batch boundary and
                                                 # promote the follower
+    supervised: bool = False          # let a ClusterSupervisor detect the
+                                      # kill and promote (no manual promote)
+    heartbeat_miss_threshold: int = 3  # consecutive probe misses before the
+                                       # supervisor declares the leader dead
 
 
 @dataclass
@@ -166,6 +170,7 @@ class FleetResult:
     metrics: Dict[str, object]
     recoveries: int = 0               # mid-run kill-and-recover cycles
     wal_replayed: int = 0             # records replayed across recoveries
+    failover_epoch: int = 0           # epoch after a supervised promotion
 
     @property
     def reports_per_second(self) -> float:
@@ -194,6 +199,10 @@ class FleetResult:
             lines.append(
                 f"crash-recoveries: {self.recoveries} "
                 f"({self.wal_replayed} WAL records replayed)"
+            )
+        if self.failover_epoch:
+            lines.append(
+                f"supervised failover: promoted at epoch {self.failover_epoch}"
             )
         return "\n".join(lines)
 
@@ -265,6 +274,10 @@ def run_fleet(
     if config.failover_after_batch is not None and config.replica_dir is None:
         raise ReportingError(
             "failover_after_batch requires replica_dir (a follower to promote)"
+        )
+    if config.supervised and config.failover_after_batch is None:
+        raise ReportingError(
+            "supervised requires failover_after_batch (a kill to supervise)"
         )
     owns_server = server is None
     if config.failover_after_batch is not None and not owns_server:
@@ -360,6 +373,7 @@ def run_fleet(
     batches = 0
     recoveries = 0
     wal_replayed = 0
+    failover_epoch = 0
     started = time.monotonic()
 
     for batch_start in range(0, config.devices, config.batch_size):
@@ -434,19 +448,50 @@ def run_fleet(
             # EOF mid-flight), and the follower's directory -- bootstrap
             # snapshot + every shipped WAL record -- is promoted through
             # the same snapshot+replay path a local crash uses.
+            old_endpoint = net_handle.address
             net_handle.kill()
             server.crash()
-            server = follower.promote(
-                shards=config.shards, policy=config.policy,
-                snapshot_every=config.snapshot_every,
-            )
+            if config.supervised:
+                # Nobody calls promote: a ClusterSupervisor probes the
+                # dead endpoint, declares it after miss_threshold
+                # strikes, and performs the epoch-bumping promotion
+                # itself.  The fleet only re-points its endpoint cell.
+                from repro.reporting.net import ClusterSupervisor
+
+                supervisor = ClusterSupervisor(
+                    old_endpoint,
+                    [follower],
+                    server_kwargs=dict(
+                        shards=config.shards, policy=config.policy,
+                        snapshot_every=config.snapshot_every,
+                    ),
+                    miss_threshold=config.heartbeat_miss_threshold,
+                    probe_timeout=0.5,
+                )
+                ticks = 0
+                while supervisor.failovers == 0 and ticks < 64:
+                    supervisor.tick()
+                    ticks += 1
+                if supervisor.failovers != 1:
+                    raise ReportingError(
+                        "supervised failover never promoted the follower"
+                    )
+                server = supervisor.promoted_server
+                net_handle = supervisor.promoted_handle
+                failover_epoch = server.epoch
+            else:
+                server = follower.promote(
+                    shards=config.shards, policy=config.policy,
+                    snapshot_every=config.snapshot_every,
+                )
             follower = None
             if app_name not in server.apps:
                 server.register_app(app_name, original_key_hex)
             recoveries += 1
             wal_replayed += server.metrics.counter("wal.replayed").value
             server.process()
-            net_handle = ServiceHandle.start(server)
+            if not config.supervised:
+                net_handle = ServiceHandle.start(server)
             endpoint["addr"] = net_handle.address
 
         if batches == config.crash_after_batch:
@@ -506,4 +551,5 @@ def run_fleet(
         metrics=metrics.snapshot(),
         recoveries=recoveries,
         wal_replayed=wal_replayed,
+        failover_epoch=failover_epoch,
     )

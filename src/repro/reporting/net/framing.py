@@ -34,6 +34,7 @@ Two smaller codecs share the module:
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.errors import WireError
@@ -132,6 +133,7 @@ _STATUS_TO_BYTE = {
     SubmitStatus.MALFORMED: 0x05,
     SubmitStatus.UNKNOWN_APP: 0x06,
     SubmitStatus.DROPPED: 0x07,
+    SubmitStatus.NOT_LEADER: 0x08,
 }
 _BYTE_TO_STATUS = {value: status for status, value in _STATUS_TO_BYTE.items()}
 
@@ -166,11 +168,14 @@ MSG_SNAPSHOT = b"S"
 MSG_RECORD = b"R"
 #: Follower -> leader: ``>Q cumulative_applied`` after a local fsync.
 MSG_ACK = b"A"
+#: Leader -> follower: an encoded :class:`HealthStatus` (liveness beat
+#: carrying the leader's epoch).  Does not advance ``applied``.
+MSG_HEARTBEAT = b"T"
 
 #: ``wal_index`` byte addressing the meta WAL in a RECORD message.
 META_WAL = 0xFF
 
-_MSG_KINDS = (MSG_HELLO, MSG_SNAPSHOT, MSG_RECORD, MSG_ACK)
+_MSG_KINDS = (MSG_HELLO, MSG_SNAPSHOT, MSG_RECORD, MSG_ACK, MSG_HEARTBEAT)
 
 #: Snapshot images dominate; records are small.  Same garbage-length
 #: guard rationale as the frame cap, just sized for snapshots.
@@ -219,3 +224,144 @@ class MessageReader:
             messages.append((kind, bytes(self._buffer[5 : 5 + length])))
             del self._buffer[: 5 + length]
         return messages
+
+
+# ---------------------------------------------------------------------------
+# Cluster-control wire: health probes, fencing, NOT_LEADER redirects
+# ---------------------------------------------------------------------------
+#
+# The ingest port is dual-protocol: the first four bytes of a connection
+# select DRPT frame ingestion (``WIRE_MAGIC``), a health probe
+# (``HEALTH_MAGIC``), or a fence request (``FENCE_MAGIC``).  Keeping the
+# control plane on the data port means the supervisor observes exactly
+# the path clients use -- a leader that answers probes but not writes is
+# not a failure mode this design can misreport.
+
+#: Connection preamble selecting the health-probe protocol.  The probe
+#: is the 4 magic bytes; the response is ``>H len | health payload``.
+#: The connection stays open for repeated probes (one per magic).
+HEALTH_MAGIC = b"HLTH"
+
+#: Connection preamble selecting the fence protocol.  The request is
+#: ``FNCE | >Q epoch | >H len | new_endpoint utf-8``; the response is a
+#: single byte: 0x01 fence applied, 0x00 ignored (stale epoch).
+FENCE_MAGIC = b"FNCE"
+
+#: Role bytes in a health payload -- frozen wire values, like statuses.
+_ROLE_TO_BYTE = {"leader": 1, "fenced": 2, "follower": 3}
+_BYTE_TO_ROLE = {value: role for role, value in _ROLE_TO_BYTE.items()}
+
+
+@dataclass(frozen=True)
+class HealthStatus:
+    """One node's self-reported health, as carried by probes/heartbeats.
+
+    ``epoch`` is the leadership generation the node believes current;
+    ``applied`` counts durable appends (followers: replicated records),
+    ``wal_depth`` appends since the last snapshot, ``queue_depth`` and
+    ``dropped`` expose ingest backpressure.  ``endpoint`` is where
+    clients should write -- for a fenced node that is the *new* leader.
+    """
+
+    epoch: int
+    role: str
+    applied: int = 0
+    wal_depth: int = 0
+    queue_depth: int = 0
+    dropped: int = 0
+    endpoint: str = ""
+
+
+def encode_health(health: HealthStatus) -> bytes:
+    """``>Q epoch | B role | >Q applied | >I wal | >I queue | >Q dropped
+    | >H len | endpoint`` (heartbeat and probe-response payload)."""
+    try:
+        role = _ROLE_TO_BYTE[health.role]
+    except KeyError:
+        raise WireError(f"unmapped health role {health.role!r}") from None
+    endpoint = health.endpoint.encode("utf-8")
+    return b"".join(
+        (
+            struct.pack(
+                ">QBQIIQ",
+                health.epoch & 0xFFFFFFFFFFFFFFFF,
+                role,
+                health.applied & 0xFFFFFFFFFFFFFFFF,
+                health.wal_depth & 0xFFFFFFFF,
+                health.queue_depth & 0xFFFFFFFF,
+                health.dropped & 0xFFFFFFFFFFFFFFFF,
+            ),
+            struct.pack(">H", len(endpoint)),
+            endpoint,
+        )
+    )
+
+
+_HEALTH_FIXED = struct.calcsize(">QBQIIQ")
+
+
+def decode_health(payload: bytes) -> HealthStatus:
+    """Inverse of :func:`encode_health`; raises :class:`WireError`."""
+    try:
+        epoch, role_byte, applied, wal_depth, queue_depth, dropped = (
+            struct.unpack_from(">QBQIIQ", payload, 0)
+        )
+        (endpoint_len,) = struct.unpack_from(">H", payload, _HEALTH_FIXED)
+    except struct.error:
+        raise WireError("truncated health payload") from None
+    offset = _HEALTH_FIXED + 2
+    endpoint = payload[offset : offset + endpoint_len]
+    if len(endpoint) != endpoint_len or offset + endpoint_len != len(payload):
+        raise WireError("malformed health payload")
+    role = _BYTE_TO_ROLE.get(role_byte)
+    if role is None:
+        raise WireError(f"unknown health role byte 0x{role_byte:02x}")
+    return HealthStatus(
+        epoch=epoch,
+        role=role,
+        applied=applied,
+        wal_depth=wal_depth,
+        queue_depth=queue_depth,
+        dropped=dropped,
+        endpoint=endpoint.decode("utf-8"),
+    )
+
+
+def encode_redirect(epoch: int, endpoint: str) -> bytes:
+    """Payload a fenced node writes after a NOT_LEADER status byte:
+    ``>Q epoch | >H len | endpoint utf-8`` (the new leader)."""
+    raw = endpoint.encode("utf-8")
+    return struct.pack(">QH", epoch & 0xFFFFFFFFFFFFFFFF, len(raw)) + raw
+
+
+def decode_redirect(payload: bytes) -> Tuple[int, str]:
+    """Inverse of :func:`encode_redirect`; raises :class:`WireError`."""
+    try:
+        epoch, endpoint_len = struct.unpack_from(">QH", payload, 0)
+    except struct.error:
+        raise WireError("truncated NOT_LEADER redirect") from None
+    raw = payload[10 : 10 + endpoint_len]
+    if len(raw) != endpoint_len or 10 + endpoint_len != len(payload):
+        raise WireError("malformed NOT_LEADER redirect")
+    return epoch, raw.decode("utf-8")
+
+
+#: A fence request body reuses the redirect layout (epoch + endpoint).
+encode_fence = encode_redirect
+decode_fence = decode_redirect
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (redirect / config strings)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise WireError(f"malformed endpoint {text!r} (want host:port)")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise WireError(f"malformed endpoint port in {text!r}") from None
+
+
+def format_endpoint(endpoint: Tuple[str, int]) -> str:
+    """Inverse of :func:`parse_endpoint`."""
+    return f"{endpoint[0]}:{endpoint[1]}"

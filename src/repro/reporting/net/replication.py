@@ -49,10 +49,13 @@ from repro.reporting.durability import SNAPSHOT_MAGIC, SNAPSHOT_NAME, encode_sna
 from repro.reporting.net.framing import (
     META_WAL,
     MSG_ACK,
+    MSG_HEARTBEAT,
     MSG_HELLO,
     MSG_RECORD,
     MSG_SNAPSHOT,
+    HealthStatus,
     MessageReader,
+    decode_health,
     encode_message,
 )
 from repro.reporting.server import ReportServer
@@ -93,9 +96,15 @@ class ReplicaFollower:
         self.applied = 0
         #: Snapshot images applied (1 bootstrap + one per leader compaction).
         self.snapshots = 0
+        #: Heartbeats received; ``leader_epoch`` is the last one's epoch.
+        self.heartbeats = 0
+        self.leader_epoch = 0
         self.shard_count: Optional[int] = None
         self.error: Optional[BaseException] = None
 
+        # ``applied``/``error`` transitions signal this condition so
+        # ``wait_applied`` wakes on progress instead of busy-polling.
+        self._progress = threading.Condition()
         self._stop_flag = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._files: Dict[int, "io.FileIO"] = {}  # noqa: F821 - doc only
@@ -118,7 +127,9 @@ class ReplicaFollower:
         try:
             self._follow()
         except (OSError, ReproError) as exc:
-            self.error = exc
+            with self._progress:
+                self.error = exc
+                self._progress.notify_all()
         finally:
             self._close_files()
             sock, self._sock = self._sock, None
@@ -131,22 +142,41 @@ class ReplicaFollower:
     def stop(self, timeout: float = 10.0) -> None:
         """Stop following; joins the thread when one is running."""
         self._stop_flag.set()
+        with self._progress:
+            self._progress.notify_all()
         thread = self._thread
         if thread is not None and thread is not threading.current_thread():
             thread.join(timeout)
 
     def wait_applied(self, count: int, timeout: float = 10.0) -> bool:
-        """Block until ``applied >= count`` (False on timeout)."""
+        """Block until ``applied >= count`` (False on timeout).
+
+        Wakes on the apply notification itself -- no poll interval --
+        so a supervisor waiting for a follower to catch up pays only
+        the actual replication latency.
+        """
         deadline = time.monotonic() + timeout
-        while self.applied < count:
-            if self.error is not None:
-                raise ReportingError(
-                    f"replica follower failed: {self.error}"
-                ) from self.error
-            if time.monotonic() >= deadline:
-                return False
-            time.sleep(0.005)
+        with self._progress:
+            while self.applied < count:
+                if self.error is not None:
+                    raise ReportingError(
+                        f"replica follower failed: {self.error}"
+                    ) from self.error
+                if self._stop_flag.is_set():
+                    return False  # stop() wakes waiters rather than strand them
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._progress.wait(remaining)
         return True
+
+    def health(self) -> HealthStatus:
+        """This follower's view of itself (supervisor catch-up input)."""
+        return HealthStatus(
+            epoch=self.leader_epoch,
+            role="follower",
+            applied=self.applied,
+        )
 
     def promote(self, **server_kwargs) -> ReportServer:
         """Stop following and recover a live server from the directory.
@@ -160,7 +190,15 @@ class ReplicaFollower:
             raise ReportingError(
                 f"cannot promote a failed follower: {self.error}"
             ) from self.error
-        return ReportServer.recover(self.data_dir, **server_kwargs)
+        server = ReportServer.recover(self.data_dir, **server_kwargs)
+        # The promoted leader's epoch must strictly exceed every epoch
+        # the old leader served under: recovery replayed the shipped
+        # epoch records, heartbeats carried the live value -- bump past
+        # the larger of the two (at least once).
+        target = max(self.leader_epoch, server.epoch)
+        while server.epoch <= target:
+            server.bump_epoch()
+        return server
 
     # -- the follow loop ----------------------------------------------------
 
@@ -203,7 +241,9 @@ class ReplicaFollower:
             for handle in dirty:
                 os.fsync(handle.fileno())
             if applied:
-                self.applied += applied
+                with self._progress:
+                    self.applied += applied
+                    self._progress.notify_all()
                 try:
                     sock.sendall(
                         encode_message(MSG_ACK, struct.pack(">Q", self.applied))
@@ -247,6 +287,15 @@ class ReplicaFollower:
             if handle not in dirty:
                 dirty.append(handle)
             return 1
+        if kind == MSG_HEARTBEAT:
+            # Liveness beat: remember the leader's epoch (promotion must
+            # exceed it) but never advance ``applied`` -- catch-up is
+            # measured in durable records, not beats.
+            health = decode_health(payload)
+            self.heartbeats += 1
+            if health.epoch > self.leader_epoch:
+                self.leader_epoch = health.epoch
+            return 0
         if kind == MSG_ACK:
             return 0  # ours to send, not to receive; tolerate echoes
         raise ReportingError(f"unknown replication message {kind!r}")

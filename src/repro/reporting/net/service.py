@@ -38,6 +38,8 @@ is the only sanctioned cross-thread access to a served server.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
+import struct
 import threading
 import time
 from typing import Callable, List, Optional, Tuple, TypeVar
@@ -46,14 +48,22 @@ from repro.chaos.faults import fault_point
 from repro.errors import FaultInjected, ReportingError, WireError
 from repro.metrics import INGEST_BUCKETS, MetricsRegistry
 from repro.reporting.net.framing import (
+    FENCE_MAGIC,
+    HEALTH_MAGIC,
     META_WAL,
+    MSG_HEARTBEAT,
     MSG_HELLO,
     MSG_RECORD,
     MSG_SNAPSHOT,
     FrameReader,
+    HealthStatus,
     MessageReader,
+    decode_fence,
+    encode_health,
     encode_message,
+    encode_redirect,
     encode_status,
+    format_endpoint,
 )
 from repro.reporting.server import ReportServer, SubmitStatus
 from repro.reporting.wire import decode_report
@@ -98,6 +108,7 @@ class IngestService:
         shard_queue_depth: int = 256,
         process_every: int = 512,
         read_chunk: int = 65536,
+        heartbeat_interval: float = 0.5,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if shard_queue_depth < 1:
@@ -120,6 +131,7 @@ class IngestService:
         self.shard_queue_depth = shard_queue_depth
         self.process_every = process_every
         self.read_chunk = read_chunk
+        self.heartbeat_interval = heartbeat_interval
         self.metrics = metrics if metrics is not None else server.metrics
         self.conn_stats: List[ConnStats] = []
 
@@ -130,9 +142,14 @@ class IngestService:
         self._relay_tasks: List[asyncio.Task] = []
         self._listener: Optional[asyncio.AbstractServer] = None
         self._repl_listener: Optional[asyncio.AbstractServer] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
         self._closed = False
         self._unprocessed = 0
         self._next_conn_id = 0
+        # Fencing state: once set, every write is answered NOT_LEADER
+        # plus a redirect to the new leader, and never reaches the server.
+        self._fenced_epoch: Optional[int] = None
+        self._fenced_endpoint = ""
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -163,6 +180,10 @@ class IngestService:
                 self._on_replica, self.replication_host, self.replication_port
             )
             self.server._durability.add_observer(self._on_wal_event)
+            if self.heartbeat_interval > 0:
+                self._heartbeat_task = asyncio.ensure_future(
+                    self._heartbeat_loop()
+                )
 
     async def stop(self) -> None:
         """Graceful drain: answer in-flight frames, flush followers.
@@ -175,6 +196,9 @@ class IngestService:
         if self._closed:
             return
         self._closed = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            await asyncio.gather(self._heartbeat_task, return_exceptions=True)
         for listener in (self._listener, self._repl_listener):
             if listener is not None:
                 listener.close()
@@ -207,7 +231,10 @@ class IngestService:
         for listener in (self._listener, self._repl_listener):
             if listener is not None:
                 listener.close()
-        for task in self._workers + self._relay_tasks + list(self._handler_tasks):
+        tasks = self._workers + self._relay_tasks + list(self._handler_tasks)
+        if self._heartbeat_task is not None:
+            tasks.append(self._heartbeat_task)
+        for task in tasks:
             task.cancel()
 
     # -- ingest path --------------------------------------------------------
@@ -232,11 +259,34 @@ class IngestService:
         ingest_hist = self.metrics.histogram(
             "reporting.net.ingest_seconds", INGEST_BUCKETS
         )
+        # The first four bytes select the protocol: DRPT frame ingestion
+        # or the cluster-control plane (health probes, fence requests).
+        # Buffering until the preamble is complete keeps the dispatch
+        # correct under byte-at-a-time chunking.
+        mode: Optional[str] = None
+        control = bytearray()
         try:
             while not self._closed:
                 data = await reader.read(self.read_chunk)
                 if not data:
                     break
+                if mode is None:
+                    control.extend(data)
+                    if len(control) < 4:
+                        continue
+                    head = bytes(control[:4])
+                    mode = (
+                        "control"
+                        if head in (HEALTH_MAGIC, FENCE_MAGIC)
+                        else "frames"
+                    )
+                    data = bytes(control)
+                    del control[:]
+                if mode == "control":
+                    control.extend(data)
+                    if not await self._serve_control(control, writer, stats):
+                        break
+                    continue
                 started = time.perf_counter()
                 try:
                     blobs = frames.feed(data)
@@ -260,6 +310,12 @@ class IngestService:
                     ingest_hist.observe(time.perf_counter() - started)
                     stats.frames += 1
                     writer.write(encode_status(status))
+                    if status is SubmitStatus.NOT_LEADER:
+                        writer.write(
+                            encode_redirect(
+                                self._fenced_epoch or 0, self._fenced_endpoint
+                            )
+                        )
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -267,8 +323,123 @@ class IngestService:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: abort() tore the loop down while this
+                # connection was mid-close -- the socket dies with it.
                 pass
+
+    async def _serve_control(
+        self, buffer: bytearray, writer: asyncio.StreamWriter, stats: ConnStats
+    ) -> bool:
+        """Answer every complete control request in ``buffer``.
+
+        Returns False when the stream is garbage and the connection
+        should close; partial requests stay buffered for the next read.
+        """
+        while len(buffer) >= 4:
+            head = bytes(buffer[:4])
+            if head == HEALTH_MAGIC:
+                del buffer[:4]
+                payload = encode_health(self.health_status())
+                writer.write(struct.pack(">H", len(payload)) + payload)
+                await writer.drain()
+                stats.frames += 1
+                self.metrics.counter("reporting.net.health_probes").inc()
+                continue
+            if head == FENCE_MAGIC:
+                if len(buffer) < 14:
+                    return True
+                (endpoint_len,) = struct.unpack_from(">H", buffer, 12)
+                total = 14 + endpoint_len
+                if len(buffer) < total:
+                    return True
+                try:
+                    epoch, endpoint = decode_fence(bytes(buffer[4:total]))
+                except WireError:
+                    stats.desync = True
+                    self.metrics.counter("reporting.net.desync").inc()
+                    return False
+                del buffer[:total]
+                try:
+                    accepted = self.fence(epoch, endpoint)
+                except FaultInjected:
+                    # The fence was lost in transit (net.stale_leader):
+                    # the supervisor sees a refusal and re-fences later.
+                    self.metrics.counter(
+                        "reporting.net.stale_leader_faults"
+                    ).inc()
+                    accepted = False
+                writer.write(b"\x01" if accepted else b"\x00")
+                await writer.drain()
+                stats.frames += 1
+                continue
+            stats.desync = True
+            self.metrics.counter("reporting.net.desync").inc()
+            return False
+        return True
+
+    # -- cluster control ----------------------------------------------------
+
+    def fence(self, epoch: int, endpoint: str) -> bool:
+        """Demote this node: reject writes, redirect clients to ``endpoint``.
+
+        Monotonic: only an epoch strictly above everything this node has
+        seen (its own and any earlier fence) applies -- a delayed or
+        replayed fence from a *previous* failover is ignored, so fencing
+        can never move leadership backwards.
+        """
+        fault_point("net.stale_leader")
+        current = self.server.epoch
+        if self._fenced_epoch is not None:
+            current = max(current, self._fenced_epoch)
+        if epoch <= current:
+            return False
+        self._fenced_epoch = epoch
+        self._fenced_endpoint = endpoint
+        self.metrics.counter("reporting.net.fenced").inc()
+        return True
+
+    @property
+    def fenced(self) -> bool:
+        return self._fenced_epoch is not None
+
+    def health_status(self) -> HealthStatus:
+        """This node's health, as answered to probes and heartbeats."""
+        server = self.server
+        fenced = self._fenced_epoch is not None
+        wal_depth = 0
+        if server._durability is not None:
+            wal_depth = server._durability._appends_since_snapshot
+        if fenced:
+            endpoint = self._fenced_endpoint
+        elif self._listener is not None:
+            endpoint = format_endpoint(self.address)
+        else:
+            endpoint = ""
+        return HealthStatus(
+            epoch=self._fenced_epoch if fenced else server.epoch,
+            role="fenced" if fenced else "leader",
+            applied=int(server.metrics.counter("reporting.accepted").value),
+            wal_depth=int(wal_depth),
+            queue_depth=sum(queue.qsize() for queue in self._queues),
+            dropped=int(self.metrics.counter("reporting.net.dropped").value),
+            endpoint=endpoint,
+        )
+
+    async def _heartbeat_loop(self) -> None:
+        """Periodic liveness beat relayed to every follower."""
+        try:
+            while not self._closed:
+                await asyncio.sleep(self.heartbeat_interval)
+                if not self._follower_queues:
+                    continue
+                message = encode_message(
+                    MSG_HEARTBEAT, encode_health(self.health_status())
+                )
+                for queue in self._follower_queues:
+                    queue.put_nowait(message)
+        except asyncio.CancelledError:
+            pass
 
     def _route(
         self, blob: bytes, stats: ConnStats, drop_counter
@@ -276,6 +447,12 @@ class IngestService:
         """Queue one frame for its owning shard; never awaits."""
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[SubmitStatus]" = loop.create_future()
+        if self._fenced_epoch is not None:
+            # A fenced node accepts nothing: the frame never reaches the
+            # server, so its counters (and WAL) stay flat post-fence.
+            self.metrics.counter("reporting.net.not_leader").inc()
+            future.set_result(SubmitStatus.NOT_LEADER)
+            return future
         try:
             signed = decode_report(blob)
         except WireError:
@@ -333,6 +510,11 @@ class IngestService:
         )
         queue.put_nowait(
             encode_message(MSG_SNAPSHOT, snapshot_file_bytes(self.server))
+        )
+        # An immediate beat so the follower learns the leader's epoch
+        # without waiting out the first heartbeat interval.
+        queue.put_nowait(
+            encode_message(MSG_HEARTBEAT, encode_health(self.health_status()))
         )
         self._follower_queues.append(queue)
         self.metrics.counter("reporting.net.replicas").inc()
@@ -401,6 +583,9 @@ class ServiceHandle:
         self._thread: Optional[threading.Thread] = None
         self._error: Optional[BaseException] = None
         self._stopped = False
+        # Serializes stop()/kill() against each other (idempotence) --
+        # a supervisor thread and the owner may both try to tear down.
+        self._lifecycle = threading.Lock()
 
     # Start is a classmethod so the handle is never observable half-built.
     @classmethod
@@ -464,36 +649,77 @@ class ServiceHandle:
 
     def call(self, fn: Callable[[ReportServer], T], timeout: float = 30.0) -> T:
         """Run ``fn(server)`` on the service loop; the only safe way to
-        touch a served server from another thread."""
-        if self._loop is None or self._stopped:
+        touch a served server from another thread.
+
+        Safe against a concurrent ``stop()``/``kill()``: a call caught
+        mid-flight by a teardown raises :class:`ReportingError` instead
+        of hanging on a dead loop or surfacing a cancellation.
+        """
+        loop = self._loop
+        if loop is None or self._stopped:
             raise ReportingError("service handle is not running")
 
         async def _invoke() -> T:
             return fn(self.service.server)
 
-        future = asyncio.run_coroutine_threadsafe(_invoke(), self._loop)
-        return future.result(timeout)
+        try:
+            future = asyncio.run_coroutine_threadsafe(_invoke(), loop)
+        except RuntimeError:
+            # The loop closed between the check and the submit.
+            raise ReportingError("service handle is not running") from None
+        try:
+            return future.result(timeout)
+        except concurrent.futures.CancelledError:
+            raise ReportingError(
+                "service stopped while the call was in flight"
+            ) from None
 
     def stop(self, timeout: float = 30.0) -> None:
-        """Graceful shutdown: drain, flush followers, join the thread."""
-        if self._stopped or self._loop is None:
+        """Graceful shutdown: drain, flush followers, join the thread.
+
+        Idempotent: later ``stop()``/``kill()`` calls (from any thread)
+        are no-ops once a teardown has claimed the handle.
+        """
+        with self._lifecycle:
+            if self._stopped or self._loop is None:
+                return
+            self._stopped = True
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.stop(), self._loop
+            )
+        except RuntimeError:
+            self._thread_join(timeout)
             return
-        self._stopped = True
-        future = asyncio.run_coroutine_threadsafe(self.service.stop(), self._loop)
         try:
             future.result(timeout)
         finally:
-            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._request_loop_stop()
             self._thread_join(timeout)
 
     def kill(self) -> None:
-        """Abrupt death (``abort()``): the fleet's leader-kill fault."""
-        if self._stopped or self._loop is None:
-            return
-        self._stopped = True
-        self._loop.call_soon_threadsafe(self.service.abort)
-        self._loop.call_soon_threadsafe(self._loop.stop)
+        """Abrupt death (``abort()``): the fleet's leader-kill fault.
+
+        Idempotent and callable from a supervisor thread while another
+        thread sits in ``call()`` -- the in-flight call is cancelled
+        (surfacing as :class:`ReportingError`), never left hanging.
+        """
+        with self._lifecycle:
+            if self._stopped or self._loop is None:
+                return
+            self._stopped = True
+        try:
+            self._loop.call_soon_threadsafe(self.service.abort)
+        except RuntimeError:
+            pass
+        self._request_loop_stop()
         self._thread_join()
+
+    def _request_loop_stop(self) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        except RuntimeError:
+            pass  # already stopped and closed
 
     def _thread_join(self, timeout: float = 10.0) -> None:
         if self._thread is not None:

@@ -68,6 +68,7 @@ class SubmitStatus(enum.Enum):
     MALFORMED = "malformed"          # frame does not decode
     UNKNOWN_APP = "unknown_app"      # app not registered here
     DROPPED = "dropped"              # shard queue full (backpressure)
+    NOT_LEADER = "not_leader"        # fenced stale leader; follow redirect
 
 
 @dataclass(frozen=True)
@@ -227,6 +228,10 @@ class ReportServer:
         self.clock = 0.0
         self._apps: Dict[str, _AppState] = {}
         self._trusted_nonce = 0
+        #: Leadership generation.  Monotonic across crashes (journaled to
+        #: the meta WAL, carried by snapshots) -- a promoted follower bumps
+        #: it so a fenced stale leader is recognisable by its lower epoch.
+        self.epoch = 0
         self._durability = None
         if data_dir is not None:
             from repro.reporting.durability import DurabilityLog
@@ -265,6 +270,19 @@ class ReportServer:
         """
         if self._durability is not None:
             self._durability.close()
+
+    def bump_epoch(self) -> int:
+        """Advance the leadership epoch (journaled before it takes effect).
+
+        Called on promotion: the new leader's epoch strictly exceeds every
+        epoch the old leader ever served, so fencing decisions reduce to
+        an integer comparison.
+        """
+        next_epoch = self.epoch + 1
+        if self._durability is not None:
+            self._durability.append_epoch(next_epoch)
+        self.epoch = next_epoch
+        return next_epoch
 
     # -- registration -------------------------------------------------------
 
@@ -496,6 +514,7 @@ class ReportServer:
         return {
             "clock": self.clock,
             "trusted_nonce": self._trusted_nonce,
+            "epoch": self.epoch,
             "apps": [
                 {
                     "name": app.name,
@@ -526,6 +545,7 @@ class ReportServer:
 
         self.clock = state["clock"]
         self._trusted_nonce = state["trusted_nonce"]
+        self.epoch = state.get("epoch", 0)
         for app_state in state["apps"]:
             if len(app_state["shards"]) != self.shard_count:
                 raise DurabilityError(
@@ -571,6 +591,10 @@ class ReportServer:
                 if app is not None and app.takedown_key is None:
                     app.takedown_key = key
                     app.takedown_ts = ts
+            elif kind == "epoch":
+                _, epoch = record
+                if epoch > self.epoch:
+                    self.epoch = epoch
             else:  # report
                 _, name, report, trusted = record
                 app = self._apps.get(name)

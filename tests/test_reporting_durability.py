@@ -19,6 +19,7 @@ from repro.reporting import (
 from repro.reporting.durability import (
     decode_record,
     decode_snapshot,
+    encode_epoch_record,
     encode_register_record,
     encode_report_record,
     encode_snapshot,
@@ -341,4 +342,65 @@ class TestFaultPoints:
         assert counter(recovered, "wal.replayed") >= 2
         recovered.process()
         assert recovered.verdicts() == expected
+        recovered.close()
+
+
+class TestEpochPersistence:
+    def test_epoch_record_roundtrips(self):
+        for epoch in (0, 1, 7, 2**63):
+            assert decode_record(encode_epoch_record(epoch)) == ("epoch", epoch)
+
+    def test_epoch_record_truncated_raises(self):
+        payload = encode_epoch_record(5)
+        with pytest.raises(WireError):
+            decode_record(payload[:-1])
+        with pytest.raises(WireError):
+            decode_record(payload + b"x")
+
+    def test_snapshot_v2_carries_epoch(self, attest_key):
+        server = make_server()
+        server.submit(make_signed(attest_key))
+        server.process()
+        server.bump_epoch()
+        server.bump_epoch()
+        state = server._snapshot_state()
+        assert state["epoch"] == 2
+        assert decode_snapshot(encode_snapshot(state)) == state
+
+    def test_v1_snapshot_still_decodes_with_epoch_zero(self):
+        # A pre-epoch (version 1) snapshot is the v2 payload minus the
+        # trailing 8-byte epoch, with the version byte rolled back.
+        server = make_server()
+        payload = bytearray(encode_snapshot(server._snapshot_state()))
+        assert payload[0] == 2
+        # v2 layout: version | >d clock | >Q trusted_nonce | >Q epoch | apps
+        v1 = bytes([1]) + bytes(payload[1:17]) + bytes(payload[25:])
+        state = decode_snapshot(v1)
+        assert state["epoch"] == 0
+        assert state["apps"] == server._snapshot_state()["apps"]
+
+    def test_bump_epoch_survives_crash_recovery(self, attest_key, tmp_path):
+        data_dir = str(tmp_path / "state")
+        server = make_server(data_dir)
+        server.submit(make_signed(attest_key))
+        server.process()
+        assert server.bump_epoch() == 1
+        assert server.bump_epoch() == 2
+        server.crash()
+        recovered = ReportServer.recover(data_dir, shards=4)
+        assert recovered.epoch == 2
+        # And a recovered server keeps bumping monotonically.
+        assert recovered.bump_epoch() == 3
+        recovered.close()
+
+    def test_epoch_survives_snapshot_compaction(self, attest_key, tmp_path):
+        data_dir = str(tmp_path / "state")
+        server = make_server(data_dir, snapshot_every=2)
+        server.bump_epoch()
+        for i in range(8):  # force compactions past the epoch record
+            server.submit(make_signed(attest_key, device=f"d{i}", nonce=50 + i))
+        server.process()
+        server.close()
+        recovered = ReportServer.recover(data_dir, shards=4)
+        assert recovered.epoch == 1
         recovered.close()
