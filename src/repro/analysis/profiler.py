@@ -47,8 +47,7 @@ def profile_hot_methods(
     the field-entropy profiler samples through it.
     """
     tracer = CountingTracer()
-    previous = runtime.tracer
-    runtime.tracer = tracer
+    runtime.add_tracer(tracer)
     played = 0
     try:
         for event in events:
@@ -60,7 +59,7 @@ def profile_hot_methods(
             if on_event is not None:
                 on_event(played, runtime)
     finally:
-        runtime.tracer = previous
+        runtime.remove_tracer(tracer)
 
     app_methods = [m.qualified_name for m in runtime.app_dex.iter_methods()]
     counts = {name: tracer.invocations.get(name, 0) for name in app_methods}

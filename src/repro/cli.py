@@ -764,9 +764,13 @@ def _cmd_fleet(args) -> int:
         return EXIT_USAGE
     app_name = args.app or apk.resources().app_name
 
+    from repro.vm.sessions import SessionEngine
+
+    engine = SessionEngine(apk, seed=args.seed, events=args.events)
     print(f"calibrating outcome model from {args.sessions} play sessions...")
     model = OutcomeModel.calibrate(
-        apk, sessions=args.sessions, events=args.events, seed=args.seed
+        apk, sessions=args.sessions, events=args.events, seed=args.seed,
+        engine=engine,
     )
     print(f"  report rate {model.report_rate:.2f}, "
           f"bad-experience rate {model.bad_experience_rate:.2f}, "
@@ -782,6 +786,7 @@ def _cmd_fleet(args) -> int:
         forge_rate=args.forge_rate,
         transport_failure_rate=args.transport_failure_rate,
         transport=args.transport,
+        real_sessions=args.real_sessions,
         policy=TakedownPolicy(
             distinct_devices=args.threshold, window_seconds=args.window
         ),
@@ -792,6 +797,7 @@ def _cmd_fleet(args) -> int:
     result = run_fleet(
         app_name, original_key, model, config,
         server=server, market=market, listing=listing,
+        session_engine=engine if args.real_sessions else None,
     )
     print()
     print(result.summary())
@@ -1106,6 +1112,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--duplicate-rate", type=float, default=0.01)
     fleet.add_argument("--forge-rate", type=float, default=0.0)
     fleet.add_argument("--transport-failure-rate", type=float, default=0.0)
+    fleet.add_argument("--real-sessions", action="store_true",
+                       help="interpret a real play session for every sampled "
+                            "reporter (dispatch-table VM) instead of trusting "
+                            "the calibrated outcome model")
     fleet.add_argument("--transport", choices=["inproc", "tcp"],
                        default="inproc",
                        help="report delivery: in-process calls, or real "

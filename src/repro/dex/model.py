@@ -56,6 +56,7 @@ class DexMethod:
                 f"{self.qualified_name}: registers={self.registers} < params={self.params}"
             )
         self._labels: Optional[Dict[str, int]] = None
+        self._compiled = None  # dispatch-table body (repro.vm.dispatch)
 
     @property
     def qualified_name(self) -> str:
@@ -80,8 +81,10 @@ class DexMethod:
         return self._labels
 
     def invalidate(self) -> None:
-        """Drop cached label resolution after mutating ``instructions``."""
+        """Drop caches (label map, compiled dispatch table) after
+        mutating ``instructions``."""
         self._labels = None
+        self._compiled = None
 
     def label_cache(self) -> Optional[Dict[str, int]]:
         """The cached label map as-is, or None when invalidated.

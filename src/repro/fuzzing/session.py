@@ -76,7 +76,7 @@ class FuzzSession:
             device=self._device,
             package=self._package,
             seed=self._seed,
-            tracer=self._coverage,
+            tracers=[self._coverage],
         )
         try:
             runtime.boot(budget=self._event_budget)

@@ -176,6 +176,10 @@ class BatchResult:
     elapsed: float
     workers: int
     serial_fallback: bool = False
+    #: How the compute pass actually ran: ``"serial"`` (in-process) or
+    #: ``"process-pool"`` (framed tasks fanned across workers).  Distinct
+    #: from ``serial_fallback``, which records *why* serial was chosen.
+    strategy: str = "serial"
     metrics: Dict[str, object] = field(default_factory=dict)
 
     def by_status(self, status: OutcomeStatus) -> List[AppOutcome]:
@@ -200,7 +204,7 @@ class BatchResult:
     def summary(self) -> str:
         verif = len(self.by_status(OutcomeStatus.VERIFICATION_FAILED))
         crashed = len(self.by_status(OutcomeStatus.CRASHED))
-        mode = f"{self.workers} worker(s)"
+        mode = f"{self.workers} worker(s), {self.strategy}"
         if self.serial_fallback:
             mode += " (serial fallback)"
         return (
@@ -254,18 +258,42 @@ def _protect_worker(task: Tuple[str, bytes, RSAKeyPair, BombDroidConfig, bool]) 
     }
 
 
+def _protect_worker_frame(blob: bytes) -> Dict:
+    """Framed entry point for the process pool.
+
+    The parent serializes each task exactly once with
+    ``pickle.dumps(task, HIGHEST_PROTOCOL)`` -- the same pass that
+    proves the task can cross the process boundary at all -- and ships
+    the resulting frame.  Shipping bytes instead of the tuple keeps the
+    executor's own transport pickling trivial (one ``bytes`` object)
+    and guarantees the poolability check tested the exact payload the
+    worker receives.
+    """
+    return _protect_worker(pickle.loads(blob))
+
+
 # ---------------------------------------------------------------------------
 # The driver
 # ---------------------------------------------------------------------------
 
 
-def _poolable(task) -> bool:
-    """A task must pickle to cross the process boundary."""
+def _frame_tasks(tasks: List[Tuple]) -> Optional[List[bytes]]:
+    """Serialize every task once, or ``None`` when any cannot pickle.
+
+    One pass does double duty: it *is* the poolability check (a task
+    must pickle to cross the process boundary) and its output *is* the
+    worker payload (``_protect_worker_frame`` unpickles the same
+    frame).  The old driver pickled each task twice -- once to probe,
+    once inside ``pool.submit`` -- which BENCH_protect_batch showed as
+    pure overhead on APK-heavy tasks.
+    """
+    frames = []
     try:
-        pickle.dumps(task)
-        return True
+        for task in tasks:
+            frames.append(pickle.dumps(task, pickle.HIGHEST_PROTOCOL))
     except Exception:  # noqa: BLE001 - any pickling failure means serial
-        return False
+        return None
+    return frames
 
 
 def _outcome_from_payload(
@@ -354,14 +382,17 @@ def protect_batch(
     ]
     serial_fallback = auto_serial
     use_pool = worker_count > 1 and bool(tasks)
-    if use_pool and not all(_poolable(task) for task in tasks):
-        use_pool = False
-        serial_fallback = True
-        registry.counter("pipeline.serial_fallbacks").inc()
+    frames: Optional[List[bytes]] = None
+    if use_pool:
+        frames = _frame_tasks(tasks)
+        if frames is None:
+            use_pool = False
+            serial_fallback = True
+            registry.counter("pipeline.serial_fallbacks").inc()
 
     if use_pool:
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            futures = [pool.submit(_protect_worker, task) for task in tasks]
+            futures = [pool.submit(_protect_worker_frame, frame) for frame in frames]
             payloads = []
             for future, task in zip(futures, tasks):
                 try:
@@ -376,6 +407,7 @@ def protect_batch(
                     })
     else:
         payloads = [_protect_worker(task) for task in tasks]
+    strategy = "process-pool" if use_pool else "serial"
 
     for (index, job, key), payload in zip(pending, payloads):
         outcome = _outcome_from_payload(payload, key)
@@ -408,5 +440,6 @@ def protect_batch(
         elapsed=elapsed,
         workers=worker_count,
         serial_fallback=serial_fallback,
+        strategy=strategy,
         metrics=registry.snapshot(),
     )

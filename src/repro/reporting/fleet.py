@@ -38,7 +38,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional
 
 from repro.crypto.rsa import RSAKeyPair
-from repro.errors import ReportingError, TransportError, VMError
+from repro.errors import ReportingError, TransportError
 from repro.reporting.client import ReportClient
 from repro.reporting.server import ReportServer, SubmitStatus, TakedownPolicy
 from repro.reporting.verdicts import AggregatedVerdict
@@ -61,41 +61,31 @@ class OutcomeModel:
         sessions: int = 5,
         events: int = 350,
         seed: int = 0,
+        engine=None,
     ) -> "OutcomeModel":
-        """Run real interpreter sessions and measure the outcome rates."""
-        from repro.fuzzing.generators import DynodroidGenerator
-        from repro.vm.device import DevicePopulation
-        from repro.vm.runtime import Runtime
+        """Run real interpreter sessions and measure the outcome rates.
 
-        population = DevicePopulation(seed=seed)
-        dex = apk.dex()
-        package = apk.install_view()
+        Sessions run on a :class:`repro.vm.sessions.SessionEngine` --
+        the same engine an opt-in real-session fleet uses -- with the
+        protocol (device draws, seeds, per-event budgets) this method
+        has always used.  Pass ``engine`` to share one engine (and its
+        compiled method bodies) between calibration and the fleet run.
+        """
+        from repro.vm.sessions import SessionEngine
+
+        if engine is None:
+            engine = SessionEngine(apk, seed=seed, events=events)
         reporting = bad = detected = 0
         observed = ""
-        for index in range(sessions):
-            runtime = Runtime(
-                dex, device=population.sample(), package=package,
-                seed=seed * 100 + index,
-            )
-            try:
-                runtime.boot()
-            except VMError:
-                pass
-            for event in DynodroidGenerator(dex, seed=seed * 100 + index).stream(events):
-                try:
-                    runtime.dispatch(event)
-                except VMError:
-                    pass
-            keys = [parse_report_text(text).get("key") for text in runtime.reports]
+        for outcome in engine.play(sessions, events=events):
+            keys = [parse_report_text(text).get("key") for text in outcome.reports]
             keys = [key for key in keys if key]
             if keys:
                 reporting += 1
                 observed = observed or keys[0]
-            if runtime.detections:
+            if outcome.detections:
                 detected += 1
-            if runtime.detections or any(
-                kind == "alert" for kind, _ in runtime.ui_effects
-            ):
+            if outcome.bad_experience:
                 bad += 1
         report_rate = reporting / sessions if sessions else 0.0
         if not observed and detected:
@@ -105,7 +95,7 @@ class OutcomeModel:
             # installed certificate fingerprint -- so detection *is* an
             # observation of that key; treat detecting sessions as
             # eventual reporters.
-            observed = package.cert_fingerprint_hex
+            observed = engine.package.cert_fingerprint_hex
             report_rate = detected / sessions
         return cls(
             report_rate=report_rate,
@@ -148,6 +138,10 @@ class FleetConfig:
                                       # kill and promote (no manual promote)
     heartbeat_miss_threshold: int = 3  # consecutive probe misses before the
                                        # supervisor declares the leader dead
+    real_sessions: bool = False       # run a real interpreted play session
+                                       # for every sampled reporter instead of
+                                       # trusting the calibrated model (needs
+                                       # a session_engine passed to run_fleet)
 
 
 @dataclass
@@ -236,6 +230,7 @@ def run_fleet(
     server: Optional[ReportServer] = None,
     market=None,
     listing=None,
+    session_engine=None,
 ) -> FleetResult:
     """Stream a whole fleet's play-session outcomes through the pipeline.
 
@@ -256,6 +251,11 @@ def run_fleet(
     promotes the follower -- the networked analogue of
     ``crash_after_batch``.
     """
+    if config.real_sessions and session_engine is None:
+        raise ReportingError(
+            "real_sessions requires a session_engine "
+            "(repro.vm.sessions.SessionEngine over the suspect apk)"
+        )
     tcp = config.transport == "tcp"
     if config.transport not in ("inproc", "tcp"):
         raise ReportingError(
@@ -389,12 +389,28 @@ def run_fleet(
 
         for offset in _sample_indices(active, report_rate, brng):
             device_index = batch_start + offset
+            bomb_id = f"b{device_index % model.bomb_pool:03d}"
+            observed_key_hex = model.observed_key_hex
+            if config.real_sessions:
+                # Opt-in fidelity: actually interpret this device's play
+                # session instead of trusting the calibrated outcome.
+                # No report emitted by the real session means no report
+                # on the wire -- the synthetic sample overestimated.
+                outcome = session_engine.play_one(device_index)
+                if not outcome.reports:
+                    statuses["session_no_report"] = (
+                        statuses.get("session_no_report", 0) + 1
+                    )
+                    continue
+                parsed = parse_report_text(outcome.reports[0])
+                bomb_id = parsed.get("bomb") or bomb_id
+                observed_key_hex = parsed.get("key") or observed_key_hex
             client = clients[device_index % len(clients)]
             timestamp = fleet_clock + brng.random() * config.batch_seconds
             client.report(
                 app_name=app_name,
-                bomb_id=f"b{device_index % model.bomb_pool:03d}",
-                observed_key_hex=model.observed_key_hex,
+                bomb_id=bomb_id,
+                observed_key_hex=observed_key_hex,
                 timestamp=timestamp,
                 device_id=f"dev-{device_index:09d}",
             )

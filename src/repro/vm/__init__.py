@@ -8,7 +8,12 @@ Components:
 ``events``       UI event model consumed by fuzzers and play sessions
 ``framework``    the Android-framework API surface (``android.*``,
                  ``java.*`` and the ``bomb.*`` helpers)
+``dispatch``     the dispatch-table compiler (superinstruction fusion,
+                 inline-cache call sites) behind the table engine
 ``interpreter``  the bytecode interpreter with tracing hooks
+``reference``    the pre-dispatch-table loop, kept as semantic oracle
+``sessions``     ExecutionContext/SessionResult (the session API) and
+                 the batched real-play-session engine
 ``runtime``      class loading (including dynamic loading of decrypted
                  bomb payloads), static state, app installation
 ``containment``  graceful degradation for bomb-infrastructure failures
@@ -23,11 +28,28 @@ from repro.vm.device import (
     attacker_lab_profiles,
 )
 from repro.vm.events import Event, EventKind, handler_name_for
-from repro.vm.interpreter import Interpreter, Tracer, CoverageTracer, CountingTracer
+from repro.vm.interpreter import (
+    CompositeTracer,
+    CountingTracer,
+    CoverageTracer,
+    Interpreter,
+    Tracer,
+)
+from repro.vm.sessions import (
+    ExecutionContext,
+    PlayOutcome,
+    SessionEngine,
+    SessionResult,
+)
 from repro.vm.containment import CircuitBreaker, ContainmentPolicy, fall_through
 from repro.vm.runtime import Runtime, BombRegistry, BombEvent
 
 __all__ = [
+    "CompositeTracer",
+    "ExecutionContext",
+    "PlayOutcome",
+    "SessionEngine",
+    "SessionResult",
     "Instance",
     "to_int32",
     "truthy",

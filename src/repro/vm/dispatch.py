@@ -1,0 +1,872 @@
+"""Dispatch-table compilation for the interpreter.
+
+The interpreter's original inner loop re-decoded every instruction on
+every execution: one long ``elif`` chain per step, label lookups per
+branch, and a method-table probe per INVOKE.  This module compiles a
+:class:`~repro.dex.model.DexMethod` once into a :class:`CompiledMethod`
+-- a flat table of *step closures*, one per executed unit -- that the
+driver loop indexes directly.  Three techniques, all semantics-free:
+
+**Dispatch table.**  Each real instruction becomes a closure
+``step(registers, frame) -> next_index`` with its operands, branch
+targets (pre-resolved to table indices) and error messages captured at
+compile time.  LABEL pseudo-instructions vanish from the compiled
+stream (they were free at runtime anyway); the original pc of every
+unit is retained so tracers observe exactly the pcs they always did.
+
+**Superinstruction fusion.**  Adjacent pairs that bomb prologues emit
+constantly (CONST+CONST, CONST+IF, CONST+INVOKE, INVOKE+IF_EQZ/NEZ)
+fuse into one closure.  Fusion is only legal when the second
+instruction directly follows the first in the *original* stream
+(``j == i + 1``): branch targets always land on LABELs, and a LABEL
+between the two would make the second instruction a potential jump
+target.  The fused closure performs the second component's budget,
+cost and tracer bookkeeping itself, bit-identically to two driver
+iterations.
+
+**Inline caches.**  Every INVOKE site gets a cache cell (per
+interpreter, per compiled body).  App-method targets are cached
+unconditionally: :meth:`Runtime.load_dex` forbids shadowing, so a
+name -> DexMethod binding can never change once observed.  Framework
+targets cache the post-alias handler name and its CALL_COSTS weight,
+guarded by the runtime's method-generation counter (a payload that
+``load_dex``-es a class whose method name previously resolved to the
+framework must win the method-first dispatch, exactly as before).  The
+handler *function* is looked up live on every call -- caching it would
+blind ``bomb.probe("hooks")`` to handler-table swaps.
+
+Compiled bodies are cached on the method (``method._compiled``) and
+dropped by the existing :meth:`DexMethod.invalidate` path, which every
+in-repo mutator (MethodEditor, attacks, weaving) already calls.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional
+
+from repro.dex.opcodes import Op
+from repro.errors import BudgetExhausted, VMCrash
+from repro.vm.values import Instance, require_int, truthy
+
+_MASK = 0xFFFFFFFF
+_INT32_MAX = 2147483647
+_WRAP = 0x100000000
+
+
+def _eq(a, b) -> bool:
+    # Cross-type equality never holds (but bool/int interoperate as in Java).
+    if isinstance(a, bool):
+        a = int(a)
+    if isinstance(b, bool):
+        b = int(b)
+    return type(a) is type(b) and a == b
+
+
+_COMPARES: Dict[Op, Callable] = {
+    Op.IF_EQ: _eq,
+    Op.IF_NE: lambda a, b: not _eq(a, b),
+    Op.IF_LT: lambda a, b: require_int(a, "if_lt") < require_int(b, "if_lt"),
+    Op.IF_GE: lambda a, b: require_int(a, "if_ge") >= require_int(b, "if_ge"),
+    Op.IF_GT: lambda a, b: require_int(a, "if_gt") > require_int(b, "if_gt"),
+    Op.IF_LE: lambda a, b: require_int(a, "if_le") <= require_int(b, "if_le"),
+}
+
+_ZERO_TESTS: Dict[Op, Callable] = {
+    Op.IF_EQZ: lambda a: not truthy(a),
+    Op.IF_NEZ: truthy,
+    Op.IF_LTZ: lambda a: require_int(a, "if_ltz") < 0,
+    Op.IF_GEZ: lambda a: require_int(a, "if_gez") >= 0,
+}
+
+#: (context string, raw int op) per two-register arithmetic opcode.
+_ARITH = {
+    Op.ADD: ("add", lambda x, y: x + y),
+    Op.SUB: ("sub", lambda x, y: x - y),
+    Op.MUL: ("mul", lambda x, y: x * y),
+    Op.AND: ("and", lambda x, y: x & y),
+    Op.OR: ("or", lambda x, y: x | y),
+    Op.XOR: ("xor", lambda x, y: x ^ y),
+    Op.SHL: ("shl", lambda x, y: x << (y & 31)),
+    Op.SHR: ("shr", lambda x, y: x >> (y & 31)),
+}
+
+_ARITH_LIT = {
+    Op.ADD_LIT: ("add_lit", lambda x, v: x + v),
+    Op.SUB_LIT: ("sub_lit", lambda x, v: x - v),
+    Op.MUL_LIT: ("mul_lit", lambda x, v: x * v),
+    Op.AND_LIT: ("and_lit", lambda x, v: x & v),
+    Op.OR_LIT: ("or_lit", lambda x, v: x | v),
+    Op.XOR_LIT: ("xor_lit", lambda x, v: x ^ v),
+}
+
+
+class _Frame:
+    """Per-activation state the step closures need."""
+
+    __slots__ = (
+        "interp", "runtime", "method", "tracer", "ctx", "budget",
+        "depth", "cells", "result",
+    )
+
+    def __init__(self, interp, runtime, method, tracer, ctx, budget, depth, cells):
+        self.interp = interp
+        self.runtime = runtime
+        self.method = method
+        self.tracer = tracer
+        self.ctx = ctx
+        self.budget = budget
+        self.depth = depth
+        self.cells = cells
+        self.result = None
+
+
+class CompiledMethod:
+    """One method, compiled: step closures plus tracer-fidelity maps."""
+
+    __slots__ = (
+        "steps", "orig_pcs", "orig_instrs", "count", "cell_count",
+        "fused_units", "exhausted",
+    )
+
+    def __init__(self, steps, orig_pcs, orig_instrs, cell_count, fused_units, exhausted):
+        self.steps = steps
+        self.orig_pcs = orig_pcs          # compiled index -> original pc of the unit head
+        self.orig_instrs = orig_instrs    # compiled index -> original head Instr
+        self.count = len(steps)
+        self.cell_count = cell_count      # inline-cache cells (one per INVOKE site)
+        self.fused_units = fused_units    # superinstruction count (introspection)
+        self.exhausted = exhausted        # precomputed BudgetExhausted message
+
+
+# ---------------------------------------------------------------------------
+# Inline-cached call dispatch
+# ---------------------------------------------------------------------------
+
+
+def _resolve_site(runtime, name):
+    """Resolve an INVOKE target into a cacheable entry.
+
+    ``(method,)`` for an app method (sound forever: load_dex forbids
+    shadowing), ``(None, handler_name, cost, methods_gen)`` for a
+    framework call (valid until the runtime loads more methods), or
+    ``None`` for an unknown name (never cached -- the slow path raises
+    with legacy semantics, and a later ``load_dex`` may define it).
+    """
+    target = runtime.find_method(name)
+    if target is not None:
+        return (target,)
+    return runtime.framework.resolve_entry(name, runtime._methods_gen)
+
+
+def _call(frame, name, call_args, cell):
+    """INVOKE dispatch through the site's inline-cache cell."""
+    runtime = frame.runtime
+    cells = frame.cells
+    entry = cells[cell]
+    if entry is None:
+        entry = _resolve_site(runtime, name)
+        if entry is None:
+            # Unknown name: legacy slow path (raises "unknown method").
+            return runtime.framework.call(name, call_args, frame.ctx)
+        cells[cell] = entry
+    target = entry[0]
+    if target is not None:
+        return frame.interp.execute(target, call_args, frame.ctx, frame.depth + 1)
+    if entry[3] != runtime._methods_gen:
+        # New code was loaded since this site resolved: a payload class
+        # may now shadow the framework name under method-first dispatch.
+        entry = _resolve_site(runtime, name)
+        if entry is None:
+            return runtime.framework.call(name, call_args, frame.ctx)
+        cells[cell] = entry
+        target = entry[0]
+        if target is not None:
+            return frame.interp.execute(target, call_args, frame.ctx, frame.depth + 1)
+    return runtime.framework.call_resolved(entry[1], entry[2], call_args, frame.ctx)
+
+
+# ---------------------------------------------------------------------------
+# Single-instruction step factories
+# ---------------------------------------------------------------------------
+
+
+def _wrap32(v):
+    v &= _MASK
+    return v - _WRAP if v > _INT32_MAX else v
+
+
+def _build_single(instr, pc, nxt, C):
+    """Compile one instruction into a step closure.
+
+    ``C`` is the per-method compile context: qualified name, label ->
+    unit-index resolver, and the inline-cache cell allocator.
+    """
+    op = instr.op
+
+    if op is Op.CONST:
+        dst, value = instr.dst, instr.value
+
+        def step(regs, frame, dst=dst, value=value, nxt=nxt):
+            regs[dst] = value
+            return nxt
+        return step
+
+    if op is Op.MOVE:
+        dst, a = instr.dst, instr.a
+
+        def step(regs, frame, dst=dst, a=a, nxt=nxt):
+            regs[dst] = regs[a]
+            return nxt
+        return step
+
+    if op is Op.INVOKE:
+        return _make_invoke(instr, nxt, C)
+
+    if op in _COMPARES:
+        pred = _COMPARES[op]
+        a, b = instr.a, instr.b
+        t = C.unit_for(instr.target)
+        lbl = instr.target
+
+        if t is None:
+            def step(regs, frame, pred=pred, a=a, b=b, nxt=nxt, pc=pc, instr=instr, lbl=lbl):
+                taken = pred(regs[a], regs[b])
+                tr = frame.tracer
+                if tr is not None:
+                    tr.on_branch(frame.method, pc, instr, taken)
+                if taken:
+                    raise KeyError(lbl)
+                return nxt
+            return step
+
+        def step(regs, frame, pred=pred, a=a, b=b, t=t, nxt=nxt, pc=pc, instr=instr):
+            taken = pred(regs[a], regs[b])
+            tr = frame.tracer
+            if tr is not None:
+                tr.on_branch(frame.method, pc, instr, taken)
+            return t if taken else nxt
+        return step
+
+    if op in _ZERO_TESTS:
+        pred = _ZERO_TESTS[op]
+        a = instr.a
+        t = C.unit_for(instr.target)
+        lbl = instr.target
+
+        if t is None:
+            def step(regs, frame, pred=pred, a=a, nxt=nxt, pc=pc, instr=instr, lbl=lbl):
+                taken = pred(regs[a])
+                tr = frame.tracer
+                if tr is not None:
+                    tr.on_branch(frame.method, pc, instr, taken)
+                if taken:
+                    raise KeyError(lbl)
+                return nxt
+            return step
+
+        def step(regs, frame, pred=pred, a=a, t=t, nxt=nxt, pc=pc, instr=instr):
+            taken = pred(regs[a])
+            tr = frame.tracer
+            if tr is not None:
+                tr.on_branch(frame.method, pc, instr, taken)
+            return t if taken else nxt
+        return step
+
+    if op is Op.GOTO:
+        t = C.unit_for(instr.target)
+        if t is None:
+            lbl = instr.target
+
+            def step(regs, frame, lbl=lbl):
+                raise KeyError(lbl)
+            return step
+
+        def step(regs, frame, t=t):
+            return t
+        return step
+
+    if op is Op.RETURN:
+        a = instr.a
+
+        def step(regs, frame, a=a):
+            frame.result = regs[a]
+            return -1
+        return step
+
+    if op is Op.RETURN_VOID:
+        def step(regs, frame):
+            frame.result = None
+            return -1
+        return step
+
+    if op in _ARITH:
+        ctxname, fn = _ARITH[op]
+        dst, a, b = instr.dst, instr.a, instr.b
+
+        def step(regs, frame, dst=dst, a=a, b=b, nxt=nxt, fn=fn, ctxname=ctxname):
+            x = regs[a]
+            y = regs[b]
+            if type(x) is int and type(y) is int:
+                v = fn(x, y)
+            else:
+                v = fn(require_int(x, ctxname), require_int(y, ctxname))
+            v &= _MASK
+            regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op in _ARITH_LIT:
+        ctxname, fn = _ARITH_LIT[op]
+        dst, a, value = instr.dst, instr.a, instr.value
+
+        def step(regs, frame, dst=dst, a=a, value=value, nxt=nxt, fn=fn, ctxname=ctxname):
+            x = regs[a]
+            if type(x) is not int:
+                x = require_int(x, ctxname)
+            v = fn(x, value)
+            v &= _MASK
+            regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op is Op.DIV:
+        dst, a, b = instr.dst, instr.a, instr.b
+        msg = f"division by zero in {C.qname}@{pc}"
+
+        def step(regs, frame, dst=dst, a=a, b=b, nxt=nxt, msg=msg):
+            divisor = regs[b]
+            if type(divisor) is not int:
+                divisor = require_int(divisor, "div")
+            if divisor == 0:
+                raise VMCrash(msg)
+            x = regs[a]
+            if type(x) is not int:
+                x = require_int(x, "div")
+            v = int(x / divisor) & _MASK
+            regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op is Op.REM:
+        dst, a, b = instr.dst, instr.a, instr.b
+        msg = f"remainder by zero in {C.qname}@{pc}"
+
+        def step(regs, frame, dst=dst, a=a, b=b, nxt=nxt, msg=msg):
+            divisor = regs[b]
+            if type(divisor) is not int:
+                divisor = require_int(divisor, "rem")
+            if divisor == 0:
+                raise VMCrash(msg)
+            dividend = regs[a]
+            if type(dividend) is not int:
+                dividend = require_int(dividend, "rem")
+            v = (dividend - int(dividend / divisor) * divisor) & _MASK
+            regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op is Op.DIV_LIT:
+        dst, a, value = instr.dst, instr.a, instr.value
+        if value == 0:
+            msg = f"division by zero literal in {C.qname}@{pc}"
+
+            def step(regs, frame, msg=msg):
+                raise VMCrash(msg)
+            return step
+
+        def step(regs, frame, dst=dst, a=a, value=value, nxt=nxt):
+            x = regs[a]
+            if type(x) is not int:
+                x = require_int(x, "div_lit")
+            v = int(x / value) & _MASK
+            regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op is Op.REM_LIT:
+        dst, a, value = instr.dst, instr.a, instr.value
+        if value == 0:
+            msg = f"remainder by zero literal in {C.qname}@{pc}"
+
+            def step(regs, frame, msg=msg):
+                raise VMCrash(msg)
+            return step
+
+        def step(regs, frame, dst=dst, a=a, value=value, nxt=nxt):
+            x = regs[a]
+            if type(x) is not int:
+                x = require_int(x, "rem_lit")
+            v = (x - int(x / value) * value) & _MASK
+            regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op is Op.NEG:
+        dst, a = instr.dst, instr.a
+
+        def step(regs, frame, dst=dst, a=a, nxt=nxt):
+            x = regs[a]
+            if type(x) is not int:
+                x = require_int(x, "neg")
+            v = (-x) & _MASK
+            regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op is Op.NOT:
+        dst, a = instr.dst, instr.a
+
+        def step(regs, frame, dst=dst, a=a, nxt=nxt):
+            value = regs[a]
+            if isinstance(value, bool):
+                regs[dst] = not value
+            else:
+                v = (~require_int(value, "not")) & _MASK
+                regs[dst] = v - _WRAP if v > _INT32_MAX else v
+            return nxt
+        return step
+
+    if op is Op.CMP:
+        dst, a, b = instr.dst, instr.a, instr.b
+
+        def step(regs, frame, dst=dst, a=a, b=b, nxt=nxt):
+            left = regs[a]
+            right = regs[b]
+            regs[dst] = (left > right) - (left < right)
+            return nxt
+        return step
+
+    if op is Op.SWITCH:
+        a = instr.a
+        table = {}
+        bad = {}
+        for key, label in instr.value.items():
+            t = C.unit_for(label)
+            if t is None:
+                table[key] = -2
+                bad[key] = label
+            else:
+                table[key] = t
+
+        def step(regs, frame, a=a, table=table, bad=bad, nxt=nxt, pc=pc, instr=instr):
+            key = regs[a]
+            if type(key) is bool:
+                key = int(key)
+            dest = table.get(key)
+            tr = frame.tracer
+            if tr is not None:
+                tr.on_branch(frame.method, pc, instr, dest is not None)
+            if dest is None:
+                return nxt
+            if dest < 0:
+                raise KeyError(bad[key])
+            return dest
+        return step
+
+    if op is Op.THROW:
+        a = instr.a
+
+        def step(regs, frame, a=a):
+            raise VMCrash(str(regs[a]))
+        return step
+
+    if op is Op.NEW_INSTANCE:
+        dst, value = instr.dst, instr.value
+
+        def step(regs, frame, dst=dst, value=value, nxt=nxt):
+            regs[dst] = frame.runtime.new_instance(value)
+            return nxt
+        return step
+
+    if op is Op.IGET:
+        dst, a, fname = instr.dst, instr.a, instr.value
+        msg = f"iget on non-object in {C.qname}@{pc}"
+
+        def step(regs, frame, dst=dst, a=a, fname=fname, nxt=nxt, msg=msg):
+            obj = regs[a]
+            if not isinstance(obj, Instance):
+                raise VMCrash(msg)
+            regs[dst] = obj.get(fname)
+            return nxt
+        return step
+
+    if op is Op.IPUT:
+        a, b, fname = instr.a, instr.b, instr.value
+        msg = f"iput on non-object in {C.qname}@{pc}"
+
+        def step(regs, frame, a=a, b=b, fname=fname, nxt=nxt, msg=msg):
+            obj = regs[b]
+            if not isinstance(obj, Instance):
+                raise VMCrash(msg)
+            obj.put(fname, regs[a])
+            return nxt
+        return step
+
+    if op is Op.SGET:
+        dst, fname = instr.dst, instr.value
+
+        def step(regs, frame, dst=dst, fname=fname, nxt=nxt):
+            regs[dst] = frame.runtime.sget(fname)
+            return nxt
+        return step
+
+    if op is Op.SPUT:
+        a, fname = instr.a, instr.value
+
+        def step(regs, frame, a=a, fname=fname, nxt=nxt):
+            frame.runtime.sput(fname, regs[a])
+            return nxt
+        return step
+
+    if op is Op.NEW_ARRAY:
+        dst, a = instr.dst, instr.a
+
+        def step(regs, frame, dst=dst, a=a, nxt=nxt):
+            length = require_int(regs[a], "new_array")
+            if length < 0 or length > 1 << 24:
+                raise VMCrash(f"bad array length {length}")
+            regs[dst] = [None] * length
+            return nxt
+        return step
+
+    if op is Op.AGET:
+        dst, a, b = instr.dst, instr.a, instr.b
+        msg = f"aget on non-array in {C.qname}@{pc}"
+
+        def step(regs, frame, dst=dst, a=a, b=b, nxt=nxt, msg=msg):
+            array = regs[a]
+            index = require_int(regs[b], "aget")
+            if not isinstance(array, list):
+                raise VMCrash(msg)
+            if not 0 <= index < len(array):
+                raise VMCrash(f"array index {index} out of bounds ({len(array)})")
+            regs[dst] = array[index]
+            return nxt
+        return step
+
+    if op is Op.APUT:
+        dst, a, b = instr.dst, instr.a, instr.b
+        msg = f"aput on non-array in {C.qname}@{pc}"
+
+        def step(regs, frame, dst=dst, a=a, b=b, nxt=nxt, msg=msg):
+            array = regs[dst]
+            index = require_int(regs[b], "aput")
+            if not isinstance(array, list):
+                raise VMCrash(msg)
+            if not 0 <= index < len(array):
+                raise VMCrash(f"array index {index} out of bounds ({len(array)})")
+            array[index] = regs[a]
+            return nxt
+        return step
+
+    if op is Op.ARRAY_LEN:
+        dst, a = instr.dst, instr.a
+        msg = f"array_len on non-array in {C.qname}@{pc}"
+
+        def step(regs, frame, dst=dst, a=a, nxt=nxt, msg=msg):
+            array = regs[a]
+            if not isinstance(array, list):
+                raise VMCrash(msg)
+            regs[dst] = len(array)
+            return nxt
+        return step
+
+    if op is Op.NOP:
+        def step(regs, frame, nxt=nxt):
+            return nxt
+        return step
+
+    msg = f"unimplemented opcode {op!r}"
+
+    def step(regs, frame, msg=msg):  # pragma: no cover - complete ISA
+        raise VMCrash(msg)
+    return step
+
+
+def _make_invoke(instr, nxt, C):
+    cell = C.alloc_cell()
+    name = instr.value
+    arg_regs = instr.args
+    dst = instr.dst
+
+    if dst is None:
+        def step(regs, frame, name=name, arg_regs=arg_regs, cell=cell, nxt=nxt):
+            call_args = [regs[r] for r in arg_regs]
+            tr = frame.tracer
+            if tr is not None:
+                tr.on_invoke(name, call_args)
+            _call(frame, name, call_args, cell)
+            return nxt
+        return step
+
+    def step(regs, frame, dst=dst, name=name, arg_regs=arg_regs, cell=cell, nxt=nxt):
+        call_args = [regs[r] for r in arg_regs]
+        tr = frame.tracer
+        if tr is not None:
+            tr.on_invoke(name, call_args)
+        regs[dst] = _call(frame, name, call_args, cell)
+        return nxt
+    return step
+
+
+# ---------------------------------------------------------------------------
+# Superinstruction (fused-pair) step factories
+# ---------------------------------------------------------------------------
+
+
+def _fusable(op1, op2) -> bool:
+    """A pair may fuse when the *shape* matches a bomb-prologue idiom.
+
+    Adjacency in the original stream is checked by the caller; here we
+    only gate on opcode shape.
+    """
+    if op1 is Op.CONST:
+        return (
+            op2 is Op.CONST
+            or op2 is Op.INVOKE
+            or op2 in _COMPARES
+            or op2 in _ZERO_TESTS
+        )
+    if op1 is Op.INVOKE:
+        return op2 in _ZERO_TESTS
+    return False
+
+
+def _build_fused(in1, pc1, in2, pc2, nxt, C):
+    """One closure executing two instructions.
+
+    The driver loop performs budget/cost/tracer bookkeeping for the
+    first component; the closure replicates the same bookkeeping for
+    the second, in the same order (budget check, cost, on_instr), so
+    exhaustion mid-pair and every tracer observation land exactly where
+    two separate iterations would put them.
+    """
+    op1, op2 = in1.op, in2.op
+    exhausted = C.exhausted
+
+    if op1 is Op.CONST:
+        d1, v1 = in1.dst, in1.value
+
+        if op2 is Op.CONST:
+            d2, v2 = in2.dst, in2.value
+
+            def step(regs, frame, d1=d1, v1=v1, d2=d2, v2=v2, nxt=nxt,
+                     pc2=pc2, in2=in2, exhausted=exhausted):
+                regs[d1] = v1
+                cell = frame.budget
+                cell[0] -= 1
+                if cell[0] < 0:
+                    raise BudgetExhausted(exhausted)
+                frame.runtime.cost_units += 1
+                tr = frame.tracer
+                if tr is not None:
+                    tr.on_instr(frame.method, pc2, in2)
+                regs[d2] = v2
+                return nxt
+            return step
+
+        if op2 is Op.INVOKE:
+            icell = C.alloc_cell()
+            name, arg_regs, dst2 = in2.value, in2.args, in2.dst
+
+            def step(regs, frame, d1=d1, v1=v1, name=name, arg_regs=arg_regs,
+                     dst2=dst2, icell=icell, nxt=nxt, pc2=pc2, in2=in2,
+                     exhausted=exhausted):
+                regs[d1] = v1
+                cell = frame.budget
+                cell[0] -= 1
+                if cell[0] < 0:
+                    raise BudgetExhausted(exhausted)
+                frame.runtime.cost_units += 1
+                tr = frame.tracer
+                if tr is not None:
+                    tr.on_instr(frame.method, pc2, in2)
+                call_args = [regs[r] for r in arg_regs]
+                if tr is not None:
+                    tr.on_invoke(name, call_args)
+                result = _call(frame, name, call_args, icell)
+                if dst2 is not None:
+                    regs[dst2] = result
+                return nxt
+            return step
+
+        pred = _COMPARES.get(op2)
+        if pred is not None:
+            a2, b2 = in2.a, in2.b
+            t = C.unit_for(in2.target)
+            lbl = in2.target
+
+            def step(regs, frame, d1=d1, v1=v1, pred=pred, a2=a2, b2=b2,
+                     t=t, lbl=lbl, nxt=nxt, pc2=pc2, in2=in2,
+                     exhausted=exhausted):
+                regs[d1] = v1
+                cell = frame.budget
+                cell[0] -= 1
+                if cell[0] < 0:
+                    raise BudgetExhausted(exhausted)
+                frame.runtime.cost_units += 1
+                tr = frame.tracer
+                if tr is not None:
+                    tr.on_instr(frame.method, pc2, in2)
+                taken = pred(regs[a2], regs[b2])
+                if tr is not None:
+                    tr.on_branch(frame.method, pc2, in2, taken)
+                if taken:
+                    if t is None:
+                        raise KeyError(lbl)
+                    return t
+                return nxt
+            return step
+
+        pred = _ZERO_TESTS[op2]
+        a2 = in2.a
+        t = C.unit_for(in2.target)
+        lbl = in2.target
+
+        def step(regs, frame, d1=d1, v1=v1, pred=pred, a2=a2, t=t, lbl=lbl,
+                 nxt=nxt, pc2=pc2, in2=in2, exhausted=exhausted):
+            regs[d1] = v1
+            cell = frame.budget
+            cell[0] -= 1
+            if cell[0] < 0:
+                raise BudgetExhausted(exhausted)
+            frame.runtime.cost_units += 1
+            tr = frame.tracer
+            if tr is not None:
+                tr.on_instr(frame.method, pc2, in2)
+            taken = pred(regs[a2])
+            if tr is not None:
+                tr.on_branch(frame.method, pc2, in2, taken)
+            if taken:
+                if t is None:
+                    raise KeyError(lbl)
+                return t
+            return nxt
+        return step
+
+    # INVOKE + IF_EQZ / IF_NEZ / IF_LTZ / IF_GEZ
+    icell = C.alloc_cell()
+    name, arg_regs, dst1 = in1.value, in1.args, in1.dst
+    pred = _ZERO_TESTS[op2]
+    a2 = in2.a
+    t = C.unit_for(in2.target)
+    lbl = in2.target
+
+    def step(regs, frame, name=name, arg_regs=arg_regs, dst1=dst1,
+             icell=icell, pred=pred, a2=a2, t=t, lbl=lbl, nxt=nxt,
+             pc2=pc2, in2=in2, exhausted=exhausted):
+        call_args = [regs[r] for r in arg_regs]
+        tr = frame.tracer
+        if tr is not None:
+            tr.on_invoke(name, call_args)
+        result = _call(frame, name, call_args, icell)
+        if dst1 is not None:
+            regs[dst1] = result
+        cell = frame.budget
+        cell[0] -= 1
+        if cell[0] < 0:
+            raise BudgetExhausted(exhausted)
+        frame.runtime.cost_units += 1
+        if tr is not None:
+            tr.on_instr(frame.method, pc2, in2)
+        taken = pred(regs[a2])
+        if tr is not None:
+            tr.on_branch(frame.method, pc2, in2, taken)
+        if taken:
+            if t is None:
+                raise KeyError(lbl)
+            return t
+        return nxt
+    return step
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+class _CompileContext:
+    __slots__ = ("qname", "exhausted", "unit_for", "_cells")
+
+    def __init__(self, qname, exhausted, unit_for):
+        self.qname = qname
+        self.exhausted = exhausted
+        self.unit_for = unit_for
+        self._cells = 0
+
+    def alloc_cell(self) -> int:
+        index = self._cells
+        self._cells = index + 1
+        return index
+
+
+def compile_method(method) -> CompiledMethod:
+    """Compile ``method`` into a step table; caches on ``method._compiled``.
+
+    The cache is dropped by :meth:`DexMethod.invalidate` -- the same
+    hook structural editors already call for the label cache.
+    """
+    instrs = method.instructions
+    labels = method.label_map()
+    qname = method.qualified_name
+    exhausted = f"instruction budget exhausted in {qname}"
+
+    real = [idx for idx, ins in enumerate(instrs) if ins.op is not Op.LABEL]
+
+    # Partition into units: fuse a pair only when the second instruction
+    # is directly adjacent in the original stream (no LABEL between --
+    # branch targets always land on LABELs, so a fused tail can never be
+    # jumped into).
+    units: List[tuple] = []
+    k = 0
+    n = len(real)
+    while k < n:
+        i = real[k]
+        if (
+            k + 1 < n
+            and real[k + 1] == i + 1
+            and _fusable(instrs[i].op, instrs[i + 1].op)
+        ):
+            units.append((i, i + 1))
+            k += 2
+            continue
+        units.append((i,))
+        k += 1
+
+    heads = [u[0] for u in units]
+
+    def unit_for(label_name: str) -> Optional[int]:
+        """Unit index a label jumps to, or None when the label is
+        undefined (the step then raises KeyError at *execution* time,
+        exactly as the uncompiled ``labels[target]`` lookup did)."""
+        orig = labels.get(label_name)
+        if orig is None:
+            return None
+        # First unit whose head sits at-or-after the LABEL marker.  A
+        # fused tail can never satisfy this (it directly follows its
+        # head with no room for a LABEL), so the result is a unit head
+        # -- or len(units), which the driver turns into the same
+        # fell-off-the-end crash the original loop raised.
+        return bisect_left(heads, orig)
+
+    C = _CompileContext(qname, exhausted, unit_for)
+    steps = []
+    orig_pcs = []
+    orig_instrs = []
+    fused = 0
+    for uidx, unit in enumerate(units):
+        i = unit[0]
+        nxt = uidx + 1
+        if len(unit) == 2:
+            fused += 1
+            step = _build_fused(instrs[i], i, instrs[unit[1]], unit[1], nxt, C)
+        else:
+            step = _build_single(instrs[i], i, nxt, C)
+        steps.append(step)
+        orig_pcs.append(i)
+        orig_instrs.append(instrs[i])
+
+    code = CompiledMethod(steps, orig_pcs, orig_instrs, C._cells, fused, exhausted)
+    method._compiled = code
+    return code

@@ -43,6 +43,7 @@ from repro.errors import (
     VMError,
 )
 from repro.vm.containment import fall_through
+from repro.vm.sessions import ExecutionContext
 from repro.vm.values import require_int, to_int32
 
 #: Cost (in interpreter units) of each framework call, on top of the
@@ -102,7 +103,15 @@ class Framework:
         # after the first is a cheap lookup.
         self._digest_cache: Dict[Tuple[str, str], str] = {}
 
-    def call(self, name: str, args: List, budget: List[int]):
+    def call(self, name: str, args: List, ctx):
+        """Dispatch one framework call.
+
+        ``ctx`` is the caller's :class:`ExecutionContext`; a legacy
+        mutable budget list is adopted in place (the cell is shared, so
+        decrements stay visible to the list's owner).
+        """
+        if not isinstance(ctx, ExecutionContext):
+            ctx = ExecutionContext.adopt(self._runtime, ctx)
         handler = self._handlers.get(name)
         if handler is None and name in self._aliases:
             name = self._aliases[name]
@@ -111,7 +120,41 @@ class Framework:
             raise VMCrash(f"unknown method {name!r}")
         fault_point("vm.framework", device=self._runtime.device)
         self._runtime.cost_units += CALL_COSTS.get(name, _DEFAULT_COST)
-        return handler(args, budget)
+        return handler(args, ctx)
+
+    def resolve_entry(self, name: str, methods_gen: int):
+        """Resolve ``name`` into an inline-cacheable framework entry.
+
+        Returns ``(None, resolved_name, cost, methods_gen)`` -- alias
+        resolution and cost are fixed at install time, so both are safe
+        to cache; the generation counter guards against a later payload
+        class shadowing the name under method-first dispatch.  The
+        handler *function* is intentionally not part of the entry:
+        :meth:`call_resolved` looks it up live so handler-table swaps
+        (the hooking attack surface) behave exactly as uncached calls.
+        Returns None for unknown names (never cached; the slow path
+        raises the legacy VMCrash).
+        """
+        resolved = name
+        if resolved not in self._handlers and resolved in self._aliases:
+            resolved = self._aliases[resolved]
+        if resolved not in self._handlers:
+            return None
+        return (None, resolved, CALL_COSTS.get(resolved, _DEFAULT_COST), methods_gen)
+
+    def call_resolved(self, name: str, cost: int, args: List, ctx):
+        """Invoke a pre-resolved framework entry (inline-cache hit path).
+
+        Byte-identical to :meth:`call` after alias resolution: live
+        handler lookup, the ``vm.framework`` fault point, then the
+        cached cost weight.
+        """
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise VMCrash(f"unknown method {name!r}")
+        fault_point("vm.framework", device=self._runtime.device)
+        self._runtime.cost_units += cost
+        return handler(args, ctx)
 
     def knows(self, name: str) -> bool:
         return name in self._handlers or name in self._aliases
@@ -167,14 +210,14 @@ class Framework:
     # android.*
     # ------------------------------------------------------------------
 
-    def _env_get(self, args, budget):
+    def _env_get(self, args, ctx):
         (name,) = args
         return self._runtime.device.get(name)
 
-    def _time_now(self, args, budget):
+    def _time_now(self, args, ctx):
         return int(self._runtime.device.clock)
 
-    def _get_public_key(self, args, budget):
+    def _get_public_key(self, args, ctx):
         """Hex fingerprint of the *installed* certificate's public key.
 
         The Android system manages the certificate after install; app
@@ -183,7 +226,7 @@ class Framework:
         package = self._runtime.require_package("android.pm.get_public_key")
         return package.cert_fingerprint_hex
 
-    def _get_manifest_digest(self, args, budget):
+    def _get_manifest_digest(self, args, ctx):
         (entry,) = args
         package = self._runtime.require_package("android.pm.get_manifest_digest")
         digest = package.manifest_digests.get(entry)
@@ -191,11 +234,11 @@ class Framework:
             raise VMCrash(f"MANIFEST.MF has no entry {entry!r}")
         return digest
 
-    def _get_code_blob(self, args, budget):
+    def _get_code_blob(self, args, ctx):
         package = self._runtime.require_package("android.pm.get_code_blob")
         return package.code_blob
 
-    def _res_get_string(self, args, budget):
+    def _res_get_string(self, args, ctx):
         (key,) = args
         package = self._runtime.require_package("android.res.get_string")
         value = package.resources.get(key)
@@ -203,22 +246,22 @@ class Framework:
             raise VMCrash(f"strings.xml has no entry {key!r}")
         return value
 
-    def _log(self, args, budget):
+    def _log(self, args, ctx):
         (message,) = args
         self._runtime.logs.append(str(message))
         return None
 
-    def _alert(self, args, budget):
+    def _alert(self, args, ctx):
         (message,) = args
         self._runtime.ui_effects.append(("alert", str(message)))
         return None
 
-    def _toast(self, args, budget):
+    def _toast(self, args, ctx):
         (message,) = args
         self._runtime.ui_effects.append(("toast", str(message)))
         return None
 
-    def _report(self, args, budget):
+    def _report(self, args, ctx):
         """Deliver a developer report: record locally and, when the
         device has a report client, send it through the signed wire
         channel.  Delivery failures never crash the app -- the client
@@ -231,7 +274,7 @@ class Framework:
             client.send_text(str(message), timestamp=runtime.device.clock)
         return None
 
-    def _reflect_call(self, args, budget):
+    def _reflect_call(self, args, ctx):
         """Reflection: call a framework API whose name is a runtime string.
 
         This is how SSN hides ``getPublicKey`` -- and why checking the
@@ -241,7 +284,7 @@ class Framework:
         if not isinstance(name, str):
             raise VMCrash("reflective call needs a string method name")
         self._runtime.reflection_log.append(name)
-        return self.call(name, list(args[1:]), budget)
+        return self.call(name, list(args[1:]), ctx)
 
     # ------------------------------------------------------------------
     # java.*
@@ -253,33 +296,33 @@ class Framework:
             raise VMCrash(f"{context}: expected string, got {type(value).__name__}")
         return value
 
-    def _str_equals(self, args, budget):
+    def _str_equals(self, args, ctx):
         a, b = args
         return isinstance(a, str) and isinstance(b, str) and a == b
 
-    def _str_starts_with(self, args, budget):
+    def _str_starts_with(self, args, ctx):
         a, b = args
         return self._as_str(a, "starts_with").startswith(self._as_str(b, "starts_with"))
 
-    def _str_ends_with(self, args, budget):
+    def _str_ends_with(self, args, ctx):
         a, b = args
         return self._as_str(a, "ends_with").endswith(self._as_str(b, "ends_with"))
 
-    def _str_contains(self, args, budget):
+    def _str_contains(self, args, ctx):
         a, b = args
         return self._as_str(b, "contains") in self._as_str(a, "contains")
 
-    def _str_length(self, args, budget):
+    def _str_length(self, args, ctx):
         (a,) = args
         return len(self._as_str(a, "length"))
 
-    def _str_concat(self, args, budget):
+    def _str_concat(self, args, ctx):
         a, b = args
         if isinstance(b, int) and not isinstance(b, bool):
             b = str(b)
         return self._as_str(a, "concat") + self._as_str(b, "concat")
 
-    def _str_substring(self, args, budget):
+    def _str_substring(self, args, ctx):
         s, start, end = args
         s = self._as_str(s, "substring")
         start = require_int(start, "substring")
@@ -288,7 +331,7 @@ class Framework:
             raise VMCrash(f"substring({start},{end}) out of bounds for length {len(s)}")
         return s[start:end]
 
-    def _str_char_at(self, args, budget):
+    def _str_char_at(self, args, ctx):
         s, index = args
         s = self._as_str(s, "char_at")
         index = require_int(index, "char_at")
@@ -296,11 +339,11 @@ class Framework:
             raise VMCrash(f"char_at({index}) out of bounds for length {len(s)}")
         return ord(s[index])
 
-    def _str_index_of(self, args, budget):
+    def _str_index_of(self, args, ctx):
         s, needle = args
         return self._as_str(s, "index_of").find(self._as_str(needle, "index_of"))
 
-    def _str_hash_code(self, args, budget):
+    def _str_hash_code(self, args, ctx):
         """Java's String.hashCode: h = 31*h + c, wrapped to 32 bits."""
         (s,) = args
         result = 0
@@ -308,30 +351,30 @@ class Framework:
             result = to_int32(31 * result + ord(ch))
         return result
 
-    def _str_from_int(self, args, budget):
+    def _str_from_int(self, args, ctx):
         (value,) = args
         return str(require_int(value, "from_int"))
 
-    def _str_to_int(self, args, budget):
+    def _str_to_int(self, args, ctx):
         (s,) = args
         try:
             return to_int32(int(self._as_str(s, "to_int")))
         except ValueError:
             raise VMCrash(f"cannot parse int from {s!r}") from None
 
-    def _math_abs(self, args, budget):
+    def _math_abs(self, args, ctx):
         (a,) = args
         return to_int32(abs(require_int(a, "abs")))
 
-    def _math_min(self, args, budget):
+    def _math_min(self, args, ctx):
         a, b = args
         return min(require_int(a, "min"), require_int(b, "min"))
 
-    def _math_max(self, args, budget):
+    def _math_max(self, args, ctx):
         a, b = args
         return max(require_int(a, "max"), require_int(b, "max"))
 
-    def _rand_next(self, args, budget):
+    def _rand_next(self, args, ctx):
         """Uniform int in [0, bound) -- SSN's probabilistic invocation."""
         (bound,) = args
         bound = require_int(bound, "rand.next")
@@ -343,7 +386,7 @@ class Framework:
     # bomb.*
     # ------------------------------------------------------------------
 
-    def _bomb_hash(self, args, budget):
+    def _bomb_hash(self, args, ctx):
         """``Hash(X | salt)`` as a hex string; records HASH_EVALUATED.
 
         Unencodable runtime values (null, objects, arrays) can never
@@ -358,7 +401,7 @@ class Framework:
             return "00" * 20
         return sha1_hex(encoded + bytes.fromhex(salt_hex))
 
-    def _bomb_derive(self, args, budget):
+    def _bomb_derive(self, args, ctx):
         """AES key from the live trigger operand (never from a constant)."""
         value, salt_hex = args
         runtime = self._runtime
@@ -403,7 +446,7 @@ class Framework:
             ) from exc
         return fallback
 
-    def _bomb_decrypt(self, args, budget):
+    def _bomb_decrypt(self, args, ctx):
         """Decrypt a payload blob; wrong keys crash (bad padding).
 
         Under containment a failed decrypt (or a quarantined bomb)
@@ -435,7 +478,7 @@ class Framework:
         runtime.bombs.record(bomb_id, "outer_satisfied")
         return blob
 
-    def _bomb_load_run(self, args, budget):
+    def _bomb_load_run(self, args, ctx):
         """Load a decrypted dex blob and run its entry with the register
         file array; returns the (possibly mutated) array.
 
@@ -468,8 +511,8 @@ class Framework:
             )
         responded_before = runtime.bombs.counts.get(bomb_id, {}).get("responded", 0)
         try:
-            result = runtime.interpreter.run_payload(
-                method, [register_array], budget, policy
+            result = runtime.interpreter.execute_payload(
+                method, [register_array], ctx, policy
             )
         except (VMError, FaultInjected) as exc:
             responded = runtime.bombs.counts.get(bomb_id, {}).get("responded", 0)
@@ -493,7 +536,7 @@ class Framework:
             runtime.breaker.success(bomb_id)
         return result
 
-    def _bomb_sha1_hex(self, args, budget):
+    def _bomb_sha1_hex(self, args, ctx):
         """SHA-1 of a string or bytes value, as hex (code scanning)."""
         (value,) = args
         if isinstance(value, str):
@@ -502,7 +545,7 @@ class Framework:
             raise VMCrash("bomb.sha1_hex expects bytes or string")
         return sha1_hex(value)
 
-    def _bomb_stego_extract(self, args, budget):
+    def _bomb_stego_extract(self, args, ctx):
         """Recover a hidden hex digest fragment from a carrier string.
 
         The extraction logic ships inside encrypted payload code, so an
@@ -519,7 +562,7 @@ class Framework:
         except Exception as exc:
             raise VMCrash(f"stego extraction failed: {exc}") from None
 
-    def _get_method_hash(self, args, budget):
+    def _get_method_hash(self, args, ctx):
         """SHA-1 hex of a loaded method's instruction stream.
 
         Backs code-snippet scanning: a bomb can pin the integrity of
@@ -534,7 +577,7 @@ class Framework:
             raise VMCrash(f"get_method_hash: no method {name!r}")
         return method_instruction_hash(method)
 
-    def _bomb_shape_digest(self, args, budget):
+    def _bomb_shape_digest(self, args, ctx):
         """Bytes-masked digest of a loaded method (mesh cross-guards).
 
         Mesh guards live inside encrypted payloads and pin the *shape*
@@ -558,7 +601,7 @@ class Framework:
         self._digest_cache[key] = digest
         return digest
 
-    def _bomb_method_digest(self, args, budget):
+    def _bomb_method_digest(self, args, ctx):
         """Full-content digest of a loaded method (mesh content pins).
 
         Same as ``android.pm.get_method_hash`` but tolerant of a
@@ -580,7 +623,7 @@ class Framework:
         self._digest_cache[key] = digest
         return digest
 
-    def _bomb_probe(self, args, budget):
+    def _bomb_probe(self, args, ctx):
         """Anti-analysis probes usable as inner triggers.
 
         ``debugger``: a tracer (the :class:`repro.vm.debugger.Debugger`
@@ -605,7 +648,7 @@ class Framework:
             return any(self._handlers[name] is not base[name] for name in base)
         raise VMCrash(f"unknown probe kind {kind!r}")
 
-    def _bomb_mark(self, args, budget):
+    def _bomb_mark(self, args, ctx):
         """Measurement marker emitted by generated payload code."""
         bomb_id, kind = args
         self._runtime.bombs.record(bomb_id, kind)

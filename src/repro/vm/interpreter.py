@@ -1,28 +1,40 @@
 """The bytecode interpreter.
 
-A straightforward register-machine loop with:
+A register machine executing dispatch-table-compiled method bodies
+(see :mod:`repro.vm.dispatch`), with:
 
 * 32-bit wrapped integer arithmetic;
-* label-based branching (resolved through a per-method cache);
+* label-based branching (resolved to table indices at compile time);
 * an instruction budget so endless-loop responses and runaway code
   surface as :class:`BudgetExhausted` instead of hanging the host;
 * pluggable tracers -- the profiler (Traceview stand-in), coverage
   measurement for fuzzers, and the debugging attack all observe
-  execution through the same hook;
+  execution through the same hook, registered via
+  ``Runtime.add_tracer`` / the ``tracers=`` session parameter;
 * a *cost model*: every instruction costs 1 unit and framework calls
   cost their published weight, giving a deterministic execution-time
   metric for the Table 5 overhead experiment.
+
+Execution happens under an :class:`~repro.vm.sessions.ExecutionContext`
+(:meth:`Interpreter.execute` / :meth:`execute_payload`); the historical
+``run(method, args, budget=None)`` / ``run_payload(..., budget, policy)``
+signatures survive one release as deprecated shims.
+
+The pre-dispatch-table interpreter survives verbatim as
+:class:`repro.vm.reference.ReferenceInterpreter` -- the semantic oracle
+the differential tests (and the benchmark baseline) run against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional
 
 from repro.chaos.faults import fault_point
 from repro.dex.model import DexMethod
-from repro.dex.opcodes import Op
 from repro.errors import BudgetExhausted, VMCrash
-from repro.vm.values import Instance, require_int, to_int32, truthy
+from repro.vm.dispatch import _Frame, compile_method
+from repro.vm.sessions import ExecutionContext
 
 #: Recursion limit for nested INVOKE frames.
 MAX_CALL_DEPTH = 128
@@ -82,25 +94,40 @@ class CoverageTracer(Tracer):
         return min(1.0, executed / total)
 
 
-class Interpreter:
-    """Executes methods against a :class:`repro.vm.runtime.Runtime`."""
+class CompositeTracer(Tracer):
+    """Fans every hook out to child tracers, in registration order.
+
+    ``Runtime.tracer`` returns one of these when more than one tracer
+    is registered, so the interpreter's single-tracer fast path is
+    preserved no matter how many observers attach.
+    """
+
+    def __init__(self, children=()) -> None:
+        self.children: List[Tracer] = list(children)
+
+    def on_instr(self, method: DexMethod, pc: int, instr) -> None:
+        for child in self.children:
+            child.on_instr(method, pc, instr)
+
+    def on_branch(self, method: DexMethod, pc: int, instr, taken: bool) -> None:
+        for child in self.children:
+            child.on_branch(method, pc, instr, taken)
+
+    def on_invoke(self, name: str, args: list) -> None:
+        for child in self.children:
+            child.on_invoke(name, args)
+
+
+class _EngineBase:
+    """Shared entry points of the table and reference interpreters."""
 
     def __init__(self, runtime) -> None:
         self._runtime = runtime
-        # label caches keyed by id(method); invalidated naturally because
-        # instrumentation always calls method.invalidate() which we honor
-        # by re-reading label_map (itself cached on the method).
 
-    def run(self, method: DexMethod, args: List, budget: Optional[int] = None, depth: int = 0):
-        """Execute ``method`` with ``args``; returns its return value.
+    def execute(self, method: DexMethod, args: List, ctx: ExecutionContext, depth: int = 0):
+        raise NotImplementedError
 
-        ``budget`` caps the number of executed instructions across this
-        call *including* callees (shared mutable budget).
-        """
-        state = [budget if budget is not None else self._runtime.default_budget]
-        return self._run_frame(method, args, state, depth)
-
-    def run_payload(self, method: DexMethod, args: List, budget: List[int], policy):
+    def execute_payload(self, method: DexMethod, args: List, ctx: ExecutionContext, policy):
         """Run a bomb payload frame, under a sub-budget when contained.
 
         Without a containment ``policy`` this is exactly the shared-
@@ -111,264 +138,108 @@ class Interpreter:
         budget, but a payload that spins can no longer drain the host.
         """
         if policy is None:
-            return self._run_frame(method, args, budget, depth=1)
+            return self.execute(method, args, ctx, depth=1)
+        budget = ctx.budget
         cap = fault_point("vm.budget", min(budget[0], policy.payload_budget))
-        sub = [cap]
+        sub = ExecutionContext.adopt(self._runtime, [cap])
         try:
-            return self._run_frame(method, args, sub, depth=1)
+            return self.execute(method, args, sub, depth=1)
         finally:
-            budget[0] -= cap - sub[0]
+            budget[0] -= cap - sub.budget[0]
 
-    # -- core loop -------------------------------------------------------------
+    # -- deprecated pre-session-API shims (one release) --------------------
 
-    def _run_frame(self, method: DexMethod, args: List, budget: List[int], depth: int):
+    def run(self, method: DexMethod, args: List, budget: Optional[int] = None, depth: int = 0):
+        """Deprecated: use ``Runtime.session(...)`` / :meth:`execute`."""
+        warnings.warn(
+            "Interpreter.run(method, args, budget=...) is deprecated; "
+            "use Runtime.session(budget=...).run(method, args) or "
+            "Interpreter.execute(method, args, ctx)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        cell = [budget if budget is not None else self._runtime.default_budget]
+        return self.execute(method, args, ExecutionContext.adopt(self._runtime, cell), depth)
+
+    def run_payload(self, method: DexMethod, args: List, budget: List[int], policy):
+        """Deprecated: use :meth:`execute_payload` with an ExecutionContext."""
+        warnings.warn(
+            "Interpreter.run_payload(method, args, budget, policy) is "
+            "deprecated; use Interpreter.execute_payload(method, args, ctx, "
+            "policy)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute_payload(
+            method, args, ExecutionContext.adopt(self._runtime, budget), policy
+        )
+
+
+class Interpreter(_EngineBase):
+    """Executes compiled methods against a :class:`repro.vm.runtime.Runtime`."""
+
+    def __init__(self, runtime) -> None:
+        super().__init__(runtime)
+        # Inline-cache cell arrays, one list per compiled body.  Keyed
+        # by the CompiledMethod object: method.invalidate() drops the
+        # compiled body, so a recompile naturally starts with cold
+        # cells and the stale array is never consulted again.
+        self._cells: Dict[object, list] = {}
+
+    def execute(self, method: DexMethod, args: List, ctx: ExecutionContext, depth: int = 0):
+        """Execute ``method`` with ``args`` under ``ctx``; returns its
+        return value.  The context's budget caps executed instructions
+        across this call *including* callees (shared budget cell)."""
         if depth > MAX_CALL_DEPTH:
             raise VMCrash(f"call depth exceeded at {method.qualified_name}")
         if len(args) != method.params:
             raise VMCrash(
                 f"{method.qualified_name} takes {method.params} args, got {len(args)}"
             )
+        code = method._compiled
+        if code is None:
+            code = compile_method(method)
         registers: List = [None] * method.registers
         registers[: len(args)] = args
-        instructions = method.instructions
-        labels = method.label_map()
         runtime = self._runtime
         tracer = runtime.tracer
-        pc = 0
-        count = len(instructions)
-
-        while pc < count:
-            instr = instructions[pc]
-            op = instr.op
-            if op is Op.LABEL:
-                pc += 1
-                continue
-            budget[0] -= 1
-            if budget[0] < 0:
-                raise BudgetExhausted(f"instruction budget exhausted in {method.qualified_name}")
-            runtime.cost_units += 1
-            if tracer is not None:
-                tracer.on_instr(method, pc, instr)
-
-            if op is Op.CONST:
-                registers[instr.dst] = instr.value
-            elif op is Op.MOVE:
-                registers[instr.dst] = registers[instr.a]
-            elif op is Op.ADD:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "add") + require_int(registers[instr.b], "add")
-                )
-            elif op is Op.SUB:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "sub") - require_int(registers[instr.b], "sub")
-                )
-            elif op is Op.MUL:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "mul") * require_int(registers[instr.b], "mul")
-                )
-            elif op is Op.DIV:
-                divisor = require_int(registers[instr.b], "div")
-                if divisor == 0:
-                    raise VMCrash(f"division by zero in {method.qualified_name}@{pc}")
-                registers[instr.dst] = to_int32(
-                    int(require_int(registers[instr.a], "div") / divisor)
-                )
-            elif op is Op.REM:
-                divisor = require_int(registers[instr.b], "rem")
-                if divisor == 0:
-                    raise VMCrash(f"remainder by zero in {method.qualified_name}@{pc}")
-                dividend = require_int(registers[instr.a], "rem")
-                registers[instr.dst] = to_int32(dividend - int(dividend / divisor) * divisor)
-            elif op is Op.AND:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "and") & require_int(registers[instr.b], "and")
-                )
-            elif op is Op.OR:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "or") | require_int(registers[instr.b], "or")
-                )
-            elif op is Op.XOR:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "xor") ^ require_int(registers[instr.b], "xor")
-                )
-            elif op is Op.SHL:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "shl")
-                    << (require_int(registers[instr.b], "shl") & 31)
-                )
-            elif op is Op.SHR:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "shr")
-                    >> (require_int(registers[instr.b], "shr") & 31)
-                )
-            elif op is Op.NEG:
-                registers[instr.dst] = to_int32(-require_int(registers[instr.a], "neg"))
-            elif op is Op.NOT:
-                value = registers[instr.a]
-                if isinstance(value, bool):
-                    registers[instr.dst] = not value
-                else:
-                    registers[instr.dst] = to_int32(~require_int(value, "not"))
-            elif op is Op.CMP:
-                left = registers[instr.a]
-                right = registers[instr.b]
-                registers[instr.dst] = (left > right) - (left < right)
-            elif op is Op.ADD_LIT:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "add_lit") + instr.value
-                )
-            elif op is Op.SUB_LIT:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "sub_lit") - instr.value
-                )
-            elif op is Op.MUL_LIT:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "mul_lit") * instr.value
-                )
-            elif op is Op.DIV_LIT:
-                if instr.value == 0:
-                    raise VMCrash(f"division by zero literal in {method.qualified_name}@{pc}")
-                registers[instr.dst] = to_int32(
-                    int(require_int(registers[instr.a], "div_lit") / instr.value)
-                )
-            elif op is Op.REM_LIT:
-                if instr.value == 0:
-                    raise VMCrash(f"remainder by zero literal in {method.qualified_name}@{pc}")
-                dividend = require_int(registers[instr.a], "rem_lit")
-                registers[instr.dst] = to_int32(
-                    dividend - int(dividend / instr.value) * instr.value
-                )
-            elif op is Op.AND_LIT:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "and_lit") & instr.value
-                )
-            elif op is Op.OR_LIT:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "or_lit") | instr.value
-                )
-            elif op is Op.XOR_LIT:
-                registers[instr.dst] = to_int32(
-                    require_int(registers[instr.a], "xor_lit") ^ instr.value
-                )
-            elif op is Op.GOTO:
-                pc = labels[instr.target]
-                continue
-            elif op in _COMPARES:
-                taken = _COMPARES[op](registers[instr.a], registers[instr.b])
-                if tracer is not None:
-                    tracer.on_branch(method, pc, instr, taken)
-                if taken:
-                    pc = labels[instr.target]
-                    continue
-            elif op in _ZERO_TESTS:
-                taken = _ZERO_TESTS[op](registers[instr.a])
-                if tracer is not None:
-                    tracer.on_branch(method, pc, instr, taken)
-                if taken:
-                    pc = labels[instr.target]
-                    continue
-            elif op is Op.SWITCH:
-                key = registers[instr.a]
-                if isinstance(key, bool):
-                    key = int(key)
-                target = instr.value.get(key)
-                if tracer is not None:
-                    tracer.on_branch(method, pc, instr, target is not None)
-                if target is not None:
-                    pc = labels[target]
-                    continue
-            elif op is Op.RETURN:
-                return registers[instr.a]
-            elif op is Op.RETURN_VOID:
-                return None
-            elif op is Op.THROW:
-                raise VMCrash(str(registers[instr.a]))
-            elif op is Op.NEW_INSTANCE:
-                registers[instr.dst] = self._runtime.new_instance(instr.value)
-            elif op is Op.IGET:
-                obj = registers[instr.a]
-                if not isinstance(obj, Instance):
-                    raise VMCrash(f"iget on non-object in {method.qualified_name}@{pc}")
-                registers[instr.dst] = obj.get(instr.value)
-            elif op is Op.IPUT:
-                obj = registers[instr.b]
-                if not isinstance(obj, Instance):
-                    raise VMCrash(f"iput on non-object in {method.qualified_name}@{pc}")
-                obj.put(instr.value, registers[instr.a])
-            elif op is Op.SGET:
-                registers[instr.dst] = runtime.sget(instr.value)
-            elif op is Op.SPUT:
-                runtime.sput(instr.value, registers[instr.a])
-            elif op is Op.NEW_ARRAY:
-                length = require_int(registers[instr.a], "new_array")
-                if length < 0 or length > 1 << 24:
-                    raise VMCrash(f"bad array length {length}")
-                registers[instr.dst] = [None] * length
-            elif op is Op.AGET:
-                array = registers[instr.a]
-                index = require_int(registers[instr.b], "aget")
-                if not isinstance(array, list):
-                    raise VMCrash(f"aget on non-array in {method.qualified_name}@{pc}")
-                if not 0 <= index < len(array):
-                    raise VMCrash(f"array index {index} out of bounds ({len(array)})")
-                registers[instr.dst] = array[index]
-            elif op is Op.APUT:
-                array = registers[instr.dst]
-                index = require_int(registers[instr.b], "aput")
-                if not isinstance(array, list):
-                    raise VMCrash(f"aput on non-array in {method.qualified_name}@{pc}")
-                if not 0 <= index < len(array):
-                    raise VMCrash(f"array index {index} out of bounds ({len(array)})")
-                array[index] = registers[instr.a]
-            elif op is Op.ARRAY_LEN:
-                array = registers[instr.a]
-                if not isinstance(array, list):
-                    raise VMCrash(f"array_len on non-array in {method.qualified_name}@{pc}")
-                registers[instr.dst] = len(array)
-            elif op is Op.INVOKE:
-                call_args = [registers[r] for r in instr.args]
-                if tracer is not None:
-                    tracer.on_invoke(instr.value, call_args)
-                result = self._dispatch(instr.value, call_args, budget, depth)
-                if instr.dst is not None:
-                    registers[instr.dst] = result
-            elif op is Op.NOP:
-                pass
-            else:  # pragma: no cover - unreachable with a complete ISA
-                raise VMCrash(f"unimplemented opcode {op!r}")
-            pc += 1
-
-        raise VMCrash(f"{method.qualified_name}: control fell off the end of the method")
-
-    def _dispatch(self, name: str, call_args: List, budget: List[int], depth: int):
-        runtime = self._runtime
-        target = runtime.find_method(name)
-        if target is not None:
-            return self._run_frame(target, call_args, budget, depth + 1)
-        return runtime.framework_call(name, call_args, budget)
-
-
-def _eq(a, b) -> bool:
-    # Cross-type equality never holds (but bool/int interoperate as in Java).
-    if isinstance(a, bool):
-        a = int(a)
-    if isinstance(b, bool):
-        b = int(b)
-    return type(a) is type(b) and a == b
-
-
-_COMPARES: Dict[Op, Callable] = {
-    Op.IF_EQ: _eq,
-    Op.IF_NE: lambda a, b: not _eq(a, b),
-    Op.IF_LT: lambda a, b: require_int(a, "if_lt") < require_int(b, "if_lt"),
-    Op.IF_GE: lambda a, b: require_int(a, "if_ge") >= require_int(b, "if_ge"),
-    Op.IF_GT: lambda a, b: require_int(a, "if_gt") > require_int(b, "if_gt"),
-    Op.IF_LE: lambda a, b: require_int(a, "if_le") <= require_int(b, "if_le"),
-}
-
-_ZERO_TESTS: Dict[Op, Callable] = {
-    Op.IF_EQZ: lambda a: not truthy(a),
-    Op.IF_NEZ: truthy,
-    Op.IF_LTZ: lambda a: require_int(a, "if_ltz") < 0,
-    Op.IF_GEZ: lambda a: require_int(a, "if_gez") >= 0,
-}
+        cells = self._cells.get(code)
+        if cells is None:
+            cells = [None] * code.cell_count
+            self._cells[code] = cells
+        frame = _Frame(self, runtime, method, tracer, ctx, ctx.budget, depth, cells)
+        budget = ctx.budget
+        steps = code.steps
+        count = code.count
+        exhausted = code.exhausted
+        cost = 0
+        i = 0
+        # The frame's instruction cost accrues in a local and flushes on
+        # exit (fused steps and framework calls charge the runtime
+        # directly; totals are identical either way, and nothing reads
+        # cost_units mid-frame).
+        try:
+            if tracer is None:
+                while 0 <= i < count:
+                    budget[0] -= 1
+                    if budget[0] < 0:
+                        raise BudgetExhausted(exhausted)
+                    cost += 1
+                    i = steps[i](registers, frame)
+            else:
+                pcs = code.orig_pcs
+                instrs = code.orig_instrs
+                while 0 <= i < count:
+                    budget[0] -= 1
+                    if budget[0] < 0:
+                        raise BudgetExhausted(exhausted)
+                    cost += 1
+                    tracer.on_instr(method, pcs[i], instrs[i])
+                    i = steps[i](registers, frame)
+        finally:
+            runtime.cost_units += cost
+        if i >= 0:
+            raise VMCrash(
+                f"{method.qualified_name}: control fell off the end of the method"
+            )
+        return frame.result

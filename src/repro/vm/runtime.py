@@ -27,7 +27,8 @@ from repro.vm.containment import CircuitBreaker, ContainmentPolicy
 from repro.vm.device import DeviceProfile, DevicePopulation
 from repro.vm.events import Event, handler_name_for
 from repro.vm.framework import Framework
-from repro.vm.interpreter import Interpreter
+from repro.vm.interpreter import CompositeTracer, Interpreter
+from repro.vm.sessions import ExecutionContext, _UNSET
 from repro.vm.values import Instance
 
 
@@ -120,12 +121,22 @@ class Runtime:
         tracer=None,
         report_client=None,
         containment: Optional[ContainmentPolicy] = None,
+        tracers=(),
+        engine: str = "table",
     ) -> None:
         self.device = device or DevicePopulation(seed=seed).sample()
         self.package = package
         self.rng = random.Random(seed)
         self.default_budget = default_budget
-        self.tracer = tracer
+        #: Registered tracers, all observing through one effective hook
+        #: (None / the single tracer / a CompositeTracer) so the
+        #: interpreter keeps its single-attribute fast path.
+        self._tracers: List = []
+        self._effective_tracer = None
+        if tracer is not None:
+            self.add_tracer(tracer)
+        for extra in tracers:
+            self.add_tracer(extra)
         #: Optional repro.reporting.ReportClient; when set, REPORT
         #: responses flow through the signed wire channel as well as the
         #: local `reports` list the evaluation harness reads.
@@ -141,6 +152,14 @@ class Runtime:
         self.statics: Dict[str, object] = {}
         self._methods: Dict[str, DexMethod] = {}
         self._blob_cache: Dict[bytes, DexFile] = {}
+        #: Bumped on every load_dex commit; guards framework-target
+        #: inline caches (a later payload class may shadow a name that
+        #: previously resolved to the framework).
+        self._methods_gen = 0
+        #: (post-fault blob bytes, qualified name) -> method, so warm
+        #: bomb.load_run firings skip the pure-Python SHA-1 digest.
+        #: Success-only: failing paths keep their original semantics.
+        self._method_memo: Dict[tuple, DexMethod] = {}
 
         self.logs: List[str] = []
         self.ui_effects: List[tuple] = []
@@ -151,10 +170,56 @@ class Runtime:
 
         self.bombs = BombRegistry(self)
         self.framework = Framework(self)
-        self.interpreter = Interpreter(self)
+        if engine == "table":
+            self.interpreter = Interpreter(self)
+        elif engine == "reference":
+            from repro.vm.reference import ReferenceInterpreter
+
+            self.interpreter = ReferenceInterpreter(self)
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected 'table' or 'reference')"
+            )
+        self.engine = engine
 
         self.load_dex(dex)
         self.app_dex = dex
+
+    # -- tracers --------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The effective tracer the interpreter observes through:
+        None, the single registered tracer, or a CompositeTracer."""
+        return self._effective_tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        # Compatibility with save/swap/restore call sites: assigning
+        # replaces the whole registration set.
+        self._tracers = [] if value is None else [value]
+        self._rebuild_tracer()
+
+    @property
+    def tracers(self) -> tuple:
+        return tuple(self._tracers)
+
+    def add_tracer(self, tracer) -> None:
+        self._tracers.append(tracer)
+        self._rebuild_tracer()
+
+    def remove_tracer(self, tracer) -> None:
+        self._tracers.remove(tracer)
+        self._rebuild_tracer()
+
+    def _rebuild_tracer(self) -> None:
+        ts = self._tracers
+        if not ts:
+            self._effective_tracer = None
+        elif len(ts) == 1:
+            self._effective_tracer = ts[0]
+        else:
+            self._effective_tracer = CompositeTracer(ts)
 
     # -- class loading --------------------------------------------------------
 
@@ -179,6 +244,7 @@ class Runtime:
                 incoming.append(method)
         for method in incoming:
             self._methods[method.qualified_name] = method
+        self._methods_gen += 1
         for cls in dex.classes.values():
             for f in cls.static_fields():
                 key = f"{cls.name}.{f.name}"
@@ -196,16 +262,25 @@ class Runtime:
         untouched.
         """
         blob = fault_point("dex.deserialize", blob, device=self.device)
+        memoized = self._method_memo.get((blob, qualified_name))
+        if memoized is not None:
+            # Warm path: this exact (post-fault) blob already loaded and
+            # served this method, so the digest/lookup dance is pure
+            # overhead -- bytes-key hashing is far cheaper than the
+            # pure-Python SHA-1 the cold path pays.
+            return memoized
         digest = sha1(blob)
         dex = self._blob_cache.get(digest)
         if dex is not None:
             try:
-                return dex.get_method(qualified_name)
+                method = dex.get_method(qualified_name)
             except DexError:
                 raise VMCrash(
                     f"payload has no method {qualified_name!r}",
                     bomb_id=bomb_id, site="vm.classload",
                 ) from None
+            self._method_memo[(blob, qualified_name)] = method
+            return method
         try:
             dex = deserialize_dex(blob)
         except DexFormatError as exc:
@@ -223,6 +298,7 @@ class Runtime:
         fault_point("vm.classload", device=self.device)
         self.load_dex(dex, origin=f"payload {qualified_name.rsplit('.', 1)[0]}")
         self._blob_cache[digest] = dex
+        self._method_memo[(blob, qualified_name)] = method
         return method
 
     def find_method(self, qualified_name: str) -> Optional[DexMethod]:
@@ -261,17 +337,31 @@ class Runtime:
 
     # -- execution ----------------------------------------------------------------
 
-    def framework_call(self, name: str, args: List, budget: List[int]):
-        return self.framework.call(name, args, budget)
+    def session(
+        self, budget: Optional[int] = None, tracers=(), policy=_UNSET
+    ) -> ExecutionContext:
+        """Open an execution session: one budget, optional extra tracers,
+        optional containment-policy override.  The session-API entry
+        point -- use ``ctx.invoke(...)`` / ``ctx.dispatch(...)`` /
+        ``ctx.run(...)`` for measured calls returning
+        :class:`~repro.vm.sessions.SessionResult`."""
+        return ExecutionContext(self, budget=budget, tracers=tracers, policy=policy)
+
+    def framework_call(self, name: str, args: List, ctx):
+        """Call a framework API; ``ctx`` may be an ExecutionContext or a
+        legacy mutable budget list (adopted in place)."""
+        return self.framework.call(name, args, ctx)
 
     def invoke(self, qualified_name: str, args: List = (), budget: int = None):
         """Invoke a method by name (test/fuzzer entry point)."""
         method = self.find_method(qualified_name)
         if method is None:
             raise MethodNotFound(qualified_name)
-        if self.tracer is not None:
-            self.tracer.on_invoke(qualified_name, list(args))
-        return self.interpreter.run(method, list(args), budget=budget)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_invoke(qualified_name, list(args))
+        ctx = ExecutionContext(self, budget=budget)
+        return self.interpreter.execute(method, list(args), ctx)
 
     def boot(self, budget: int = None) -> None:
         """Run every class's ``main`` entry (app start), if present."""

@@ -47,7 +47,7 @@ def _run_bomb(runtime, bomb_id, mute_flag):
     )
     blob = serialize_dex(build_payload_dex(spec))
     method = runtime.load_blob_method(blob, spec.entry)
-    runtime.interpreter.run(method, [[None, None]])
+    runtime.session().run(method, [[None, None]])
 
 
 def test_first_detection_mutes_the_rest(runtime):

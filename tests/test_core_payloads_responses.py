@@ -47,7 +47,7 @@ def run_payload(runtime, spec: PayloadSpec, array):
     dex = build_payload_dex(spec)
     blob = serialize_dex(dex)
     method = runtime.load_blob_method(blob, spec.entry)
-    return runtime.interpreter.run(method, [array])
+    return runtime.session().run(method, [array]).value
 
 
 class TestControlProtocol:
@@ -252,7 +252,7 @@ class TestResponses:
         blob = ser(build_payload_dex(spec))
         method = runtime.load_blob_method(blob, spec.entry)
         with pytest.raises(BudgetExhausted):
-            runtime.interpreter.run(method, [[None, None]], budget=50_000)
+            runtime.session(budget=50_000).run(method, [[None, None]])
 
     def test_slowdown_costs_cycles_but_continues(self):
         runtime, _, _ = installed_runtime()

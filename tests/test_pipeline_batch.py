@@ -173,6 +173,8 @@ class TestDeterminism:
         parallel = protect_batch(
             corpus_jobs, batch_config, BatchOptions(workers=4)
         )
+        assert serial_batch.strategy == "serial"
+        assert parallel.strategy == "process-pool"
         assert [o.name for o in parallel.outcomes] == [
             o.name for o in serial_batch.outcomes
         ]
@@ -368,6 +370,55 @@ class TestMetricsShim:
         assert shim.MetricsRegistry is MetricsRegistry
 
 
+class TestStrategy:
+    def test_unpicklable_key_falls_back_to_serial(
+        self, corpus_jobs, batch_config, serial_batch
+    ):
+        """A task that cannot cross the process boundary forces serial
+        even when the caller asked for a pool -- recorded in both
+        ``serial_fallback`` (why) and ``strategy`` (what ran)."""
+
+        class UnpicklableKey:
+            def __init__(self, inner):
+                object.__setattr__(self, "_inner", inner)
+
+            def __reduce__(self):
+                raise TypeError("refuses to pickle")
+
+            def __getattr__(self, name):
+                return getattr(object.__getattribute__(self, "_inner"), name)
+
+        bad_key = UnpicklableKey(corpus_jobs[0].developer_key)
+        jobs = [
+            BatchJob(
+                name=corpus_jobs[0].name,
+                apk_bytes=corpus_jobs[0].apk_bytes,
+                developer_key=bad_key,
+            )
+        ]
+        result = protect_batch(jobs, batch_config, BatchOptions(workers=4))
+        assert result.strategy == "serial"
+        assert result.serial_fallback is True
+        assert result.outcomes[0].ok
+        assert result.metrics["pipeline.serial_fallbacks"] == 1
+
+    def test_worker_frame_roundtrips(self, corpus_jobs, batch_config):
+        """The framed entry point produces the same payload dict as the
+        raw worker for the same task."""
+        import pickle
+
+        from repro.pipeline.batch import _protect_worker, _protect_worker_frame
+
+        job = corpus_jobs[0]
+        task = (job.name, job.apk_bytes, job.developer_key, batch_config, False)
+        direct = _protect_worker(task)
+        framed = _protect_worker_frame(pickle.dumps(task, pickle.HIGHEST_PROTOCOL))
+        assert framed["status"] == direct["status"] == OutcomeStatus.OK.value
+        assert framed["apk_bytes"] == direct["apk_bytes"]
+        assert framed["report"] == direct["report"]
+        assert framed["app_seed"] == direct["app_seed"]
+
+
 class TestAutoWorkers:
     def test_auto_on_single_core_degrades_to_serial(
         self, corpus_jobs, batch_config, serial_batch, monkeypatch
@@ -380,6 +431,7 @@ class TestAutoWorkers:
         )
         assert result.workers == 1
         assert result.serial_fallback is True
+        assert result.strategy == "serial"
         assert "(serial fallback)" in result.summary()
         assert result.metrics["pipeline.serial_fallbacks"] == 1
         # The decision changes scheduling only, never output bytes.
